@@ -1,0 +1,77 @@
+"""Fig. 4: strong scaling of MCM-DIST on the 13 real matrices.
+
+Paper content: speedup of MCM-DIST relative to a single node (24 cores,
+2×2 grid × 6 threads) as cores grow to ~2048; smaller matrices in the left
+panel, larger in the right.  Shape to reproduce: (a) every matrix speeds up
+from its 24-core baseline; (b) larger matrices scale further/higher than
+smaller ones (paper: avg 9× at 972 cores, best 16–18× at 2048 on
+road_usa/delaunay_n24; worst ~5× on amazon-2008); (c) small matrices
+flatten earliest.  Magnitudes are compressed at our reduced scale — the
+stand-ins' frontiers are ~1000× narrower (see EXPERIMENTS.md).
+"""
+
+import numpy as np
+
+from repro.graphs import suite
+from repro.simulate.report import CSV_FIELDS, results_to_rows, speedup_table, write_csv
+
+from .common import CORE_SWEEP, RESULTS_DIR, emit, price_sweep, suite_trace
+
+
+def run_panel(names):
+    out = {}
+    for name in names:
+        trace, R = suite_trace(name)
+        out[name] = price_sweep(trace, R)
+    return out
+
+
+def summarize(panel) -> str:
+    blocks = []
+    for name, results in panel.items():
+        blocks.append(speedup_table(results, name))
+    return "\n\n".join(blocks)
+
+
+def test_fig4_small_matrices(benchmark):
+    panel = benchmark.pedantic(run_panel, args=(suite.SMALL,), rounds=1, iterations=1)
+    emit("fig4_small", summarize(panel))
+    rows = [r for n, res in panel.items() for r in results_to_rows(n, res)]
+    write_csv(RESULTS_DIR / "fig4_small.csv", rows, CSV_FIELDS)
+    for name, results in panel.items():
+        best = max(results[0].seconds / r.seconds for r in results)
+        assert best >= 1.0, f"{name} never speeds up"
+
+
+def test_fig4_large_matrices(benchmark):
+    panel = benchmark.pedantic(run_panel, args=(suite.LARGE,), rounds=1, iterations=1)
+    emit("fig4_large", summarize(panel))
+    rows = [r for n, res in panel.items() for r in results_to_rows(n, res)]
+    write_csv(RESULTS_DIR / "fig4_large.csv", rows, CSV_FIELDS)
+
+    speedup_at_top = {}
+    for name, results in panel.items():
+        base = results[0].seconds
+        best = max(base / r.seconds for r in results)
+        top = base / results[-1].seconds
+        speedup_at_top[name] = top
+        assert best > 1.2, f"{name} should scale meaningfully"
+    # large matrices must keep a real speedup at the top core count
+    assert np.mean(list(speedup_at_top.values())) > 2.0
+
+
+def test_fig4_large_outscale_small(benchmark):
+    def compare():
+        small = run_panel(suite.SMALL)
+        large = run_panel(suite.LARGE)
+        def avg_top(panel):
+            return float(np.mean([
+                res[0].seconds / res[-1].seconds for res in panel.values()
+            ]))
+        return avg_top(small), avg_top(large)
+
+    s_top, l_top = benchmark.pedantic(compare, rounds=1, iterations=1)
+    emit("fig4_summary",
+         f"avg speedup at {CORE_SWEEP[-1][0]} cores: small matrices {s_top:.2f}x, "
+         f"large matrices {l_top:.2f}x (paper: large matrices scale better)")
+    assert l_top > s_top, "larger matrices must scale better (paper's Fig. 4)"

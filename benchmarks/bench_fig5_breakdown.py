@@ -1,0 +1,62 @@
+"""Fig. 5: runtime breakdown of MCM-DIST by kernel.
+
+Paper content: stacked SpMV / INVERT / PRUNE / other bars for four
+representative matrices across core counts.  Shape to reproduce:
+(a) SpMV dominates at low concurrency (it carries the arithmetic);
+(b) synchronization-heavy INVERT grows relative to SpMV as cores increase
+(paper: road_usa SpMV 80% → 60% from 48 to 2048 cores; amazon-2008's
+INVERT takes over much earlier); (c) PRUNE stays cheap everywhere.
+"""
+
+from repro.graphs import suite
+from repro.perfmodel import Category
+from repro.simulate.report import breakdown_table
+
+from .common import emit, price_sweep, suite_trace
+
+GRAPHS = suite.REPRESENTATIVE
+
+
+def run_experiment():
+    return {name: price_sweep(*suite_trace(name)) for name in GRAPHS}
+
+
+def test_fig5_runtime_breakdown(benchmark):
+    data = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    text = "\n\n".join(breakdown_table(res, name) for name, res in data.items())
+    emit("fig5_breakdown", text)
+
+    for name, results in data.items():
+        lo, hi = results[0], results[-1]
+
+        def ratio(r):
+            spmv = r.breakdown.seconds(Category.SPMV)
+            inv = r.breakdown.seconds(Category.INVERT)
+            return inv / max(spmv, 1e-30)
+
+        # INVERT grows relative to SpMV with concurrency
+        assert ratio(hi) > ratio(lo), f"{name}: INVERT/SpMV must rise with cores"
+        # PRUNE is never the dominant kernel
+        assert hi.breakdown.fraction(Category.PRUNE) < 0.25, name
+        # SpMV carries a real share at low concurrency
+        assert lo.breakdown.fraction(Category.SPMV) > 0.05, name
+
+
+def test_fig5_amazon_invert_dominates_earlier(benchmark):
+    """The paper: 'On smaller matrices such as amazon-2008, INVERT becomes
+    dominant more quickly' — compare the crossover against road_usa."""
+
+    def crossover(name):
+        results = price_sweep(*suite_trace(name))
+        for r in results:
+            if r.breakdown.seconds(Category.INVERT) > r.breakdown.seconds(Category.SPMV):
+                return r.cores
+        return float("inf")
+
+    def both():
+        return crossover("amazon-2008"), crossover("road_usa")
+
+    amazon_x, road_x = benchmark.pedantic(both, rounds=1, iterations=1)
+    emit("fig5_crossover",
+         f"INVERT>SpMV crossover: amazon-2008 at {amazon_x} cores, road_usa at {road_x} cores")
+    assert amazon_x <= road_x

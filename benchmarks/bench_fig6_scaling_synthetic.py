@@ -1,0 +1,93 @@
+"""Fig. 6: strong scaling on synthetic RMAT matrices up to 12,288 cores.
+
+Paper content: ER / G500 / SSCA matrices at scales 26-30, with the exact
+§V-B seed parameters.  Shape to reproduce: (a) runtime falls roughly like
+√t when cores grow by t; (b) smaller scales stop scaling earlier (paper:
+scale 26 stops by 4096 cores, scale 30 still scales at 12,288); (c) all
+three generator classes behave similarly, with ER (uniform) scaling at
+least as smoothly as the skewed G500.
+
+Our scales are reduced (pure-Python memory); the same scale *separation*
+of 4 is kept (small vs large = scale 12 vs 16, the paper's 26 vs 30).  The
+machine's latency is scaled by the nnz reduction vs the paper's scale-30
+runs, as for the real-matrix benches.
+"""
+
+import numpy as np
+
+from repro.graphs import rmat
+from repro.simulate import record
+from repro.simulate.report import CSV_FIELDS, results_to_rows, speedup_table, write_csv
+
+from .common import FAST, RESULTS_DIR, SYNTH_SWEEP, emit, machine_for, price_sweep
+
+SMALL_SCALE, LARGE_SCALE = (10, 13) if FAST else (12, 16)
+PAPER_NNZ = {"g500": 32 * (1 << 30), "er": 32 * (1 << 30), "ssca": 16 * (1 << 30)}
+GEN = {"g500": rmat.g500, "er": rmat.er, "ssca": rmat.ssca}
+
+
+def run_class(kind: str, scale: int):
+    coo = GEN[kind](scale=scale, seed=7)
+    trace = record(coo)
+    R = PAPER_NNZ[kind] / coo.nnz
+    return price_sweep(trace, R, SYNTH_SWEEP)
+
+
+def run_experiment():
+    out = {}
+    for kind in GEN:
+        for scale in (SMALL_SCALE, LARGE_SCALE):
+            out[f"{kind}-{scale}"] = run_class(kind, scale)
+    return out
+
+
+def test_fig6_synthetic_scaling(benchmark):
+    data = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    text = "\n\n".join(speedup_table(res, name) for name, res in data.items())
+    emit("fig6_synthetic", text)
+    rows = [r for n, res in data.items() for r in results_to_rows(n, res)]
+    write_csv(RESULTS_DIR / "fig6_synthetic.csv", rows, CSV_FIELDS)
+
+    for kind in GEN:
+        small = data[f"{kind}-{SMALL_SCALE}"]
+        large = data[f"{kind}-{LARGE_SCALE}"]
+        s_small = small[0].seconds / small[-1].seconds
+        s_large = large[0].seconds / large[-1].seconds
+        # larger scales keep scaling further (paper: 26 stops, 30 continues)
+        assert s_large > s_small, f"{kind}: scale {LARGE_SCALE} must outscale {SMALL_SCALE}"
+        # the large instance achieves a real speedup over the sweep
+        assert s_large > 2.0, f"{kind}-{LARGE_SCALE} speedup {s_large:.2f}"
+
+
+def test_fig6_sqrt_t_trend(benchmark):
+    """Paper: 'total runtime decreases by a factor of √t when we increase
+    the core count by a factor of t' — verify the large instance sits in a
+    band around that trend (between t^0.25 and t)."""
+
+    def run():
+        return run_class("er", LARGE_SCALE)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    base_cores, base_t = SYNTH_SWEEP[0][0], results[0].seconds
+    lines = []
+    for r in results[1:]:
+        t_factor = r.cores / base_cores
+        speedup = base_t / r.seconds
+        lines.append(f"cores x{t_factor:.0f}: speedup {speedup:.2f} (sqrt={np.sqrt(t_factor):.2f})")
+        assert t_factor ** 0.25 * 0.5 < speedup < t_factor * 1.5
+    emit("fig6_sqrt_trend", "\n".join(lines))
+
+
+def test_fig6_memory_feasibility_claim(benchmark):
+    """§VI-B: a scale-30 graph (~2G vertices, 32G edges) needs >600 GB at
+    20 B/edge — beyond one node's 64 GB, so distributed memory is the only
+    option.  Reproduce the arithmetic from the generator's parameters."""
+
+    def compute():
+        n = 1 << 30
+        edges = 32 * n
+        return edges * 20 / 1e9  # GB
+
+    gb = benchmark.pedantic(compute, rounds=1, iterations=1)
+    emit("fig6_memory", f"scale-30 G500: {gb:.0f} GB at 20 B/edge (node RAM: 64 GB)")
+    assert gb > 600

@@ -1,0 +1,72 @@
+"""Fig. 7: flat MPI vs hybrid MPI+OpenMP.
+
+Paper content: runtime breakdown of the non-threaded (t=1) implementation
+for road_usa and amazon-2008 — to compare against Fig. 5's t=12 hybrid.
+Shape to reproduce: (a) at equal core counts the hybrid runs at least ~2×
+faster; (b) flat MPI stops scaling earlier (amazon-like inputs stop by a
+few hundred cores) because the 12× larger process grid inflates every
+latency term and communicator size.
+"""
+
+from repro.graphs import suite
+from repro.simulate import price
+
+from .common import FAST, emit, machine_for, suite_trace
+
+GRAPHS = ["road_usa", "amazon-2008"]
+SWEEP = [(48, ), (108,), (192,), (432,), (972,), (2028,)] if not FAST else [(48,), (432,), (2028,)]
+
+
+def run_experiment():
+    out = {}
+    for name in GRAPHS:
+        trace, R = suite_trace(name)
+        m = machine_for(R)
+        rows = []
+        for (cores,) in SWEEP:
+            flat = price(trace, cores, 1, m)
+            hybrid = price(trace, cores, 12, m)
+            rows.append((cores, flat.seconds, hybrid.seconds))
+        out[name] = rows
+    return out
+
+
+def format_table(data) -> str:
+    lines = [f"{'matrix':<16} {'cores':>7} {'flat t=1 (s)':>14} {'hybrid t=12 (s)':>16} {'hybrid gain':>12}"]
+    for name, rows in data.items():
+        for cores, flat, hyb in rows:
+            lines.append(f"{name:<16} {cores:>7} {flat:>14.3e} {hyb:>16.3e} {flat / hyb:>11.2f}x")
+    return "\n".join(lines)
+
+
+def test_fig7_hybrid_vs_flat(benchmark):
+    data = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    emit("fig7_multithreading", format_table(data))
+
+    for name, rows in data.items():
+        # hybrid is faster at scale (paper: 'at least twice as fast'; our
+        # reduced-α calibration compresses the contrast, so the bar here is
+        # a consistent >=1.3x advantage at the top of the sweep)
+        gains = [flat / hyb for _, flat, hyb in rows]
+        assert gains[-1] > 1.3, f"{name}: hybrid gain at top cores only {gains[-1]:.2f}"
+        # flat MPI degrades relative to hybrid as cores grow
+        assert gains[-1] >= gains[1], name
+
+
+def test_fig7_flat_mpi_stops_scaling_earlier(benchmark):
+    def run(name="amazon-2008"):
+        trace, R = suite_trace(name)
+        m = machine_for(R)
+        flat = [price(trace, c, 1, m).seconds for (c,) in SWEEP]
+        hyb = [price(trace, c, 12, m).seconds for (c,) in SWEEP]
+        return flat, hyb
+
+    flat, hyb = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    def peak_cores(times):
+        best = min(range(len(times)), key=lambda i: times[i])
+        return SWEEP[best][0]
+
+    emit("fig7_peaks",
+         f"amazon-2008 best core count: flat={peak_cores(flat)}, hybrid={peak_cores(hyb)}")
+    assert peak_cores(flat) <= peak_cores(hyb)

@@ -1,0 +1,107 @@
+"""Table I ablation: wall-clock microbenchmarks of the matrix-algebra
+primitives and their claimed complexities.
+
+Paper content: Table I lists the serial complexity of each primitive —
+IND/SELECT/SET/INVERT are O(nnz) in the SPARSE operand only, PRUNE is
+sort-bounded, SpMV is bounded by the frontier columns' nonzeros.  These
+benches time the real kernels (pytest-benchmark) and assert the defining
+work-efficiency property: cost tracks the sparse operand, not the vector
+length.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.graphs import rmat
+from repro.sparse import CSC, SR_MIN_PARENT, SparseVec, VertexFrontier
+from repro.sparse.primitives import invert, prune, select, set_dense
+
+N = 2_000_000
+NNZ = 20_000
+
+
+@pytest.fixture(scope="module")
+def sparse_operand():
+    rng = np.random.default_rng(0)
+    idx = np.sort(rng.choice(N, NNZ, replace=False)).astype(np.int64)
+    val = rng.integers(0, N, NNZ)
+    return SparseVec(N, idx, val)
+
+
+@pytest.fixture(scope="module")
+def dense_operand():
+    return np.random.default_rng(1).integers(-1, 5, N).astype(np.int64)
+
+
+def test_bench_select(benchmark, sparse_operand, dense_operand):
+    out = benchmark(select, sparse_operand, dense_operand, lambda v: v == -1)
+    assert out.nnz <= sparse_operand.nnz
+
+
+def test_bench_set(benchmark, sparse_operand, dense_operand):
+    y = dense_operand.copy()
+    benchmark(set_dense, y, sparse_operand)
+
+
+def test_bench_invert(benchmark, sparse_operand):
+    out = benchmark(invert, sparse_operand, N)
+    assert out.nnz <= sparse_operand.nnz
+
+
+def test_bench_prune(benchmark, sparse_operand):
+    rng = np.random.default_rng(2)
+    q = SparseVec(N, np.sort(rng.choice(N, 500, replace=False)), rng.integers(0, N, 500))
+    out = benchmark(prune, sparse_operand, q)
+    assert out.nnz <= sparse_operand.nnz
+
+
+def test_bench_spmv(benchmark):
+    a = CSC.from_coo(rmat.g500(scale=14, seed=3))
+    rng = np.random.default_rng(4)
+    fidx = np.sort(rng.choice(a.ncols, 2000, replace=False)).astype(np.int64)
+    fc = VertexFrontier.roots_of_self(a.ncols, fidx)
+    out = benchmark(a.spmv_frontier, fc, SR_MIN_PARENT)
+    assert out.nnz > 0
+
+
+def test_work_efficiency_select_independent_of_dense_length(benchmark):
+    """SELECT over a 100x longer dense vector must not cost ~100x more —
+    Table I's O(nnz(x)) claim."""
+    rng = np.random.default_rng(5)
+    nnz = 5000
+
+    def timed(n):
+        idx = np.sort(rng.choice(n, nnz, replace=False)).astype(np.int64)
+        x = SparseVec(n, idx, idx.copy())
+        y = rng.integers(-1, 3, n).astype(np.int64)
+        t0 = time.perf_counter()
+        for _ in range(200):
+            select(x, y, lambda v: v == -1)
+        return time.perf_counter() - t0
+
+    def run():
+        return timed(50_000), timed(5_000_000)
+
+    t_small, t_large = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert t_large < t_small * 20, (
+        f"SELECT scaled with dense length: {t_small:.4f}s -> {t_large:.4f}s"
+    )
+
+
+def test_spmv_cost_tracks_frontier_not_matrix(benchmark):
+    """SpMV with a 10x smaller frontier must do ~10x less work."""
+    a = CSC.from_coo(rmat.er(scale=13, seed=6))
+    rng = np.random.default_rng(7)
+    big = np.sort(rng.choice(a.ncols, 4000, replace=False)).astype(np.int64)
+    small = big[::10]
+
+    def counts():
+        return (
+            a.spmv_count(VertexFrontier.roots_of_self(a.ncols, small)),
+            a.spmv_count(VertexFrontier.roots_of_self(a.ncols, big)),
+        )
+
+    c_small, c_big = benchmark.pedantic(counts, rounds=1, iterations=1)
+    assert c_small * 5 < c_big

@@ -1,0 +1,84 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every ``bench_*`` module regenerates one of the paper's tables/figures.
+The pattern: build the scaled stand-in inputs, record one execution trace
+per input, price it on the α-β machine model over the experiment's core
+counts, print a paper-shaped table, and persist CSV + text artifacts under
+``benchmarks/results/``.
+
+Environment knobs:
+
+* ``REPRO_BENCH_TARGET_NNZ`` — stand-in size (default 60000 nonzeros;
+  larger = closer to the paper's balance, slower to record);
+* ``REPRO_BENCH_FAST`` — set to 1 to shrink inputs/configurations for a
+  quick smoke run.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from pathlib import Path
+
+from repro.graphs import suite
+from repro.perfmodel import EDISON
+from repro.simulate import price, record, scaled_machine
+from repro.simulate.costsim import Trace
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+FAST = os.environ.get("REPRO_BENCH_FAST", "") not in ("", "0")
+TARGET_NNZ = int(os.environ.get("REPRO_BENCH_TARGET_NNZ", "20000" if FAST else "60000"))
+
+#: The paper's Fig. 4 core counts, adjusted to exact square grids of
+#: 12-thread processes (6 threads at 24 cores, as in the paper).
+CORE_SWEEP = [(24, 6), (48, 12), (108, 12), (192, 12), (432, 12), (972, 12), (2028, 12)]
+if FAST:
+    CORE_SWEEP = [(24, 6), (108, 12), (972, 12)]
+
+#: Fig. 6's sweep up to 12,288 cores (square-grid adjusted).
+SYNTH_SWEEP = [(48, 12), (192, 12), (768, 12), (3072, 12), (6912, 12), (12288, 12)]
+if FAST:
+    SYNTH_SWEEP = [(48, 12), (768, 12), (12288, 12)]
+
+
+@lru_cache(maxsize=None)
+def suite_input(name: str, target_nnz: int = TARGET_NNZ, seed: int = 0):
+    """(stand-in COO, reduction factor) for a Table II matrix."""
+    return suite.load_scaled(name, target_nnz, seed)
+
+
+@lru_cache(maxsize=None)
+def suite_trace(name: str, init: str = "mindegree", prune: bool = True) -> tuple[Trace, float]:
+    """(execution trace, nnz reduction R) for a Table II stand-in."""
+    coo, _red = suite_input(name)
+    trace = record(coo, init=init, prune=prune)
+    entry = suite.SUITE[name]
+    return trace, entry.paper_nnz / coo.nnz
+
+
+def machine_for(reduction: float):
+    """The reduced-Edison machine matching a stand-in's reduction factor
+    (see ``repro.simulate.costsim.scaled_machine``)."""
+    return scaled_machine(reduction, EDISON)
+
+
+def price_sweep(trace: Trace, reduction: float, sweep=None):
+    """Price a trace over a core sweep on the scaled machine."""
+    sweep = CORE_SWEEP if sweep is None else sweep
+    m = machine_for(reduction)
+    return [price(trace, cores, threads, m) for cores, threads in sweep]
+
+
+def save_text(name: str, text: str) -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text + ("\n" if not text.endswith("\n") else ""))
+    return path
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    banner = f"\n===== {name} =====\n"
+    print(banner + text)
+    save_text(name + ".txt", text)

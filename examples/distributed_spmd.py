@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Run MCM-DIST as a real SPMD job on the simulated MPI runtime.
+
+Every rank owns only its DCSC block of the 2D-partitioned matrix and its
+slices of the vectors; all coordination flows through collectives, routed
+all-to-alls, and — for path-parallel augmentation — one-sided RMA windows.
+This is the same code path a production mpi4py deployment would execute.
+
+The example launches the job on a 3x3 process grid, verifies the
+distributed result against the serial engine, and prints per-rank
+communication statistics.
+
+Run:  python examples/distributed_spmd.py
+"""
+
+import numpy as np
+
+import repro
+from repro.graphs import rmat
+from repro.matching import ms_bfs_mcm
+from repro.matching.mcm_dist import mcm_dist_spmd
+from repro.runtime import spmd
+
+
+def main() -> None:
+    coo = rmat.ssca(scale=10, seed=5)
+    print(f"graph: {coo.nrows:,} x {coo.ncols:,}, {coo.nnz:,} edges")
+
+    pr = pc = 3
+
+    def rank_main(comm):
+        data = coo if comm.rank == 0 else None
+        return mcm_dist_spmd(comm, data, pr, pc, init="greedy", augment="auto")
+
+    result = spmd(pr * pc, rank_main, timeout=300.0)
+    mate_r, mate_c, stats = result[0]
+
+    print(f"grid                 : {pr} x {pc} simulated ranks")
+    print(f"initial (greedy)     : {stats.initial_cardinality:,}")
+    print(f"maximum matching     : {stats.final_cardinality:,}")
+    print(f"phases / iterations  : {stats.phases} / {stats.iterations}")
+    print(f"augmentation         : {stats.augment_level_calls} level-parallel, "
+          f"{stats.augment_path_calls} path-parallel (RMA) calls")
+
+    # -- per-rank communication profile --------------------------------------
+    print("\nper-rank traffic (messages sent / 8-byte words):")
+    for r, s in enumerate(result.stats):
+        print(f"  rank {r} (grid {divmod(r, pc)}): {s.messages_sent:>6} msgs  "
+              f"{s.words_sent:>10,} words")
+    print(f"  total: {result.total_messages:,} messages, {result.total_words:,} words")
+
+    # -- cross-check against the serial matrix-algebra engine ----------------
+    a = repro.CSC.from_coo(coo)
+    serial_r, serial_c, _ = ms_bfs_mcm(a)
+    assert int((mate_r != -1).sum()) == int((serial_r != -1).sum()), \
+        "distributed and serial engines must agree on cardinality"
+    assert repro.verify_maximum(a, mate_r, mate_c)
+    print("\ndistributed result verified maximum (König certificate) and equal "
+          "in cardinality to the serial engine")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Sparse-solver preprocessing: permute a matrix to a zero-free diagonal.
+
+This is the application motivating the paper (Section I): direct sparse
+solvers permute the system so every diagonal entry is structurally nonzero
+before factorization; the permutation IS a maximum/perfect matching of the
+matrix's bipartite pattern.  The paper's point is that when the matrix is
+already distributed, the matching must be computed distributed too.
+
+This example:
+1. builds a structurally nonsingular sparse system with a hostile diagonal
+   (most diagonal entries are zero),
+2. computes a perfect matching of its pattern,
+3. derives the row permutation and verifies the permuted matrix has a
+   zero-free diagonal,
+4. contrasts the distributed-vs-gather cost using the Fig. 9 model.
+
+Run:  python examples/solver_preprocessing.py
+"""
+
+import numpy as np
+
+import repro
+from repro.sparse.permute import matching_to_permutation
+from repro.simulate import gather_scatter_time
+
+
+def build_system(n: int, seed: int = 0) -> repro.COO:
+    """A structurally nonsingular matrix whose natural diagonal is mostly
+    zero: a random permutation matrix (guaranteeing nonsingularity) plus
+    random off-diagonal fill."""
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(n).astype(np.int64)
+    fill_rows = rng.integers(0, n, 6 * n)
+    fill_cols = rng.integers(0, n, 6 * n)
+    rows = np.concatenate([np.arange(n, dtype=np.int64), fill_rows])
+    cols = np.concatenate([perm, fill_cols])
+    return repro.COO(n, n, rows, cols)
+
+
+def main() -> None:
+    n = 4000
+    a = build_system(n)
+    diag_nonzeros = int(np.sum(a.rows == a.cols))
+    print(f"system: {n:,} x {n:,}, {a.nnz:,} nonzeros; "
+          f"diagonal nonzeros before permutation: {diag_nonzeros:,} / {n:,}")
+
+    # -- perfect matching of the pattern -------------------------------------
+    mate_r, mate_c, stats = repro.maximum_matching(a, init="karp-sipser", seed=3)
+    assert stats.final_cardinality == n, "system is structurally nonsingular"
+    print(f"perfect matching found in {stats.phases} phases "
+          f"({stats.total_paths} augmenting paths after the initializer)")
+
+    # -- permute rows so matched entries land on the diagonal ---------------
+    rowperm = matching_to_permutation(mate_c, nrows=n)
+    permuted = a.permuted(row_perm=rowperm, col_perm=None)
+    diag_after = int(np.sum(permuted.rows == permuted.cols))
+    print(f"diagonal nonzeros after permutation : {diag_after:,} / {n:,}")
+    assert diag_after == n, "permuted matrix must have a zero-free diagonal"
+
+    # -- why compute the matching distributed? ------------------------------
+    # If this system lived distributed across 2048 cores (as nlpkkt200-scale
+    # systems do), gathering it to one node just to run a shared-memory
+    # matcher would cost (Fig. 9 model):
+    big_nnz, big_n = 448_225_632, 16_240_000  # nlpkkt200's true size
+    cost = gather_scatter_time(big_nnz, big_n, cores=2048)
+    print(
+        f"\nFig. 9 model, nlpkkt200-scale system on 2048 cores:\n"
+        f"  gather to one node : {cost.gather:7.1f} s\n"
+        f"  root preprocessing : {cost.preprocess:7.1f} s\n"
+        f"  scatter mates back : {cost.scatter:7.1f} s\n"
+        f"  total              : {cost.total:7.1f} s  "
+        f"(vs ~10 s to just run MCM-DIST distributed)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Modern ``pip install -e .`` goes through PEP 517 and needs the ``wheel``
+package; on fully-offline machines without it, ``python setup.py develop``
+installs the same editable package using only setuptools.  All metadata lives
+in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

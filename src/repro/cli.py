@@ -1,0 +1,174 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``match``
+    Compute a maximum matching of a MatrixMarket file or a generated graph
+    and print statistics (optionally writing the mate vectors out).
+
+``suite``
+    List the Table II stand-in suite with paper-vs-stand-in statistics.
+
+``scaling``
+    Record one execution on an input and print the strong-scaling table of
+    model times across core counts (the Fig. 4/6 workflow).
+
+``spmd``
+    Run the true SPMD MCM-DIST on a simulated process grid and report
+    per-rank communication statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _load_input(args) -> "object":
+    from .graphs import rmat, suite as suite_mod
+    from .sparse import mmio
+
+    sources = [bool(args.mtx), bool(args.rmat), bool(args.suite)]
+    if sum(sources) != 1:
+        raise SystemExit("choose exactly one input: --mtx FILE | --rmat CLASS:SCALE | --suite NAME")
+    if args.mtx:
+        return mmio.read_mm(args.mtx)
+    if args.rmat:
+        kind, _, scale = args.rmat.partition(":")
+        gen = {"g500": rmat.g500, "er": rmat.er, "ssca": rmat.ssca}.get(kind.lower())
+        if gen is None or not scale.isdigit():
+            raise SystemExit(f"--rmat expects g500:N, er:N or ssca:N, got {args.rmat!r}")
+        return gen(scale=int(scale), seed=args.seed)
+    coo, _red = suite_mod.load_scaled(args.suite, target_nnz=args.target_nnz, seed=args.seed)
+    return coo
+
+
+def _add_input_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--mtx", help="MatrixMarket file")
+    p.add_argument("--rmat", help="RMAT generator, e.g. g500:12")
+    p.add_argument("--suite", help="Table II stand-in name, e.g. road_usa")
+    p.add_argument("--target-nnz", type=int, default=60_000, help="suite stand-in size")
+    p.add_argument("--seed", type=int, default=0)
+
+
+def cmd_match(args) -> int:
+    from . import CSC, maximum_matching, verify_maximum
+    from .sparse import mmio
+
+    coo = _load_input(args)
+    mate_r, mate_c, stats = maximum_matching(
+        coo, init=args.init if args.init != "none" else None,
+        prune=not args.no_prune, seed=args.seed, direction=args.direction,
+    )
+    print(f"graph      : {coo.nrows:,} x {coo.ncols:,}, {coo.nnz:,} nonzeros")
+    print(f"initializer: {args.init} -> {stats.initial_cardinality:,}")
+    print(f"maximum    : {stats.final_cardinality:,}")
+    print(f"phases     : {stats.phases}   iterations: {stats.iterations}")
+    print(f"edges      : {stats.edges_traversed:,} traversed, "
+          f"{stats.total_paths:,} augmenting paths")
+    if args.certify:
+        ok = verify_maximum(CSC.from_coo(coo), mate_r, mate_c)
+        print(f"certificate: {'VERIFIED maximum (König)' if ok else 'FAILED'}")
+        if not ok:
+            return 1
+    if args.out:
+        np.savez(args.out, mate_r=mate_r, mate_c=mate_c)
+        print(f"mate vectors written to {args.out}")
+    return 0
+
+
+def cmd_suite(args) -> int:
+    from .graphs import suite as suite_mod
+
+    print(f"{'name':<20} {'class':<28} {'paper rows':>12} {'paper nnz':>12}")
+    for name in sorted(suite_mod.SUITE):
+        e = suite_mod.SUITE[name]
+        print(f"{name:<20} {e.kind:<28} {e.paper_rows:>12,} {e.paper_nnz:>12,}")
+    return 0
+
+
+def cmd_scaling(args) -> int:
+    from .simulate import price, record, scaled_machine
+    from .simulate.report import breakdown_table, speedup_table
+
+    coo = _load_input(args)
+    trace = record(coo, init=args.init if args.init != "none" else None,
+                   prune=not args.no_prune, direction=args.direction)
+    machine = scaled_machine(args.alpha_scale)
+    cores = [int(c) for c in args.cores.split(",")]
+    results = [price(trace, c, args.threads, machine) for c in cores]
+    print(speedup_table(results, f"{coo.nrows:,}x{coo.ncols:,} nnz={coo.nnz:,}"))
+    if args.breakdown:
+        print()
+        print(breakdown_table(results))
+    return 0
+
+
+def cmd_spmd(args) -> int:
+    from .matching.mcm_dist import run_mcm_dist
+
+    coo = _load_input(args)
+    mate_r, mate_c, stats = run_mcm_dist(
+        coo, args.pr, args.pc,
+        init=args.init if args.init in ("greedy", "mindegree") else "none",
+    )
+    card = int((mate_r != -1).sum())
+    print(f"grid {args.pr}x{args.pc}: matched {card:,} "
+          f"(init {stats.initial_cardinality:,}), {stats.phases} phases, "
+          f"{stats.iterations} iterations, augment level/path = "
+          f"{stats.augment_level_calls}/{stats.augment_path_calls}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed-memory maximum cardinality matching (IPDPS'16 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("match", help="compute a maximum matching")
+    _add_input_args(p)
+    p.add_argument("--init", default="mindegree",
+                   choices=["greedy", "karp-sipser", "mindegree", "none"])
+    p.add_argument("--direction", default="topdown", choices=["topdown", "bottomup", "auto"])
+    p.add_argument("--no-prune", action="store_true")
+    p.add_argument("--certify", action="store_true", help="verify the König certificate")
+    p.add_argument("--out", help="write mate vectors to an .npz file")
+    p.set_defaults(fn=cmd_match)
+
+    p = sub.add_parser("suite", help="list the Table II stand-in suite")
+    p.set_defaults(fn=cmd_suite)
+
+    p = sub.add_parser("scaling", help="strong-scaling study (model times)")
+    _add_input_args(p)
+    p.add_argument("--init", default="mindegree",
+                   choices=["greedy", "karp-sipser", "mindegree", "none"])
+    p.add_argument("--direction", default="topdown", choices=["topdown", "bottomup", "auto"])
+    p.add_argument("--no-prune", action="store_true")
+    p.add_argument("--cores", default="24,48,108,432,972,2028")
+    p.add_argument("--threads", type=int, default=12)
+    p.add_argument("--alpha-scale", type=float, default=1000.0,
+                   help="latency reduction matching the input's scale-down")
+    p.add_argument("--breakdown", action="store_true")
+    p.set_defaults(fn=cmd_scaling)
+
+    p = sub.add_parser("spmd", help="run MCM-DIST on a simulated process grid")
+    _add_input_args(p)
+    p.add_argument("--pr", type=int, default=2)
+    p.add_argument("--pc", type=int, default=2)
+    p.add_argument("--init", default="greedy", choices=["greedy", "mindegree", "none"])
+    p.set_defaults(fn=cmd_spmd)
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

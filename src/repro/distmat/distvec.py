@@ -1,0 +1,149 @@
+"""Rank-local pieces of distributed vectors.
+
+Every object stores only this rank's contiguous global range
+``[lo, hi)`` of the vector.  Dense vectors hold a NumPy slice; sparse
+VERTEX frontiers hold (global idx, parent, root) arrays confined to the
+range.  Conversions to/from global arrays exist for tests and for the
+root-side scatter/gather at job boundaries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse.spvec import NULL
+from .grid import ProcGrid
+from .vecmap import VecMap
+
+
+def make_vecmap(grid: ProcGrid, n: int, orient: str) -> VecMap:
+    """Column vectors: blocks = grid columns, subs = grid rows; row vectors
+    swap the roles."""
+    if orient == "col":
+        return VecMap(n, blocks=grid.pc, subs=grid.pr)
+    if orient == "row":
+        return VecMap(n, blocks=grid.pr, subs=grid.pc)
+    raise ValueError(f"orient must be 'row' or 'col', got {orient!r}")
+
+
+def my_subblock(grid: ProcGrid, orient: str) -> tuple[int, int]:
+    """(sub, block) coordinates of this rank for the given orientation."""
+    return (grid.i, grid.j) if orient == "col" else (grid.j, grid.i)
+
+
+def owner_ranks(grid: ProcGrid, vmap: VecMap, orient: str, g: np.ndarray) -> np.ndarray:
+    """Communicator rank owning each global vector index (vectorized)."""
+    sub, block = vmap.owner(g)
+    if orient == "col":
+        return sub * grid.pc + block
+    return block * grid.pc + sub
+
+
+class DistDenseVec:
+    """This rank's slice of a dense distributed vector."""
+
+    def __init__(self, grid: ProcGrid, n: int, orient: str, fill: int = NULL) -> None:
+        self.grid = grid
+        self.orient = orient
+        self.vmap = make_vecmap(grid, n, orient)
+        sub, block = my_subblock(grid, orient)
+        self.lo, self.hi = self.vmap.local_range(sub, block)
+        self.local = np.full(self.hi - self.lo, fill, dtype=np.int64)
+
+    @property
+    def n(self) -> int:
+        return self.vmap.n
+
+    def owner_of(self, g: np.ndarray) -> np.ndarray:
+        return owner_ranks(self.grid, self.vmap, self.orient, g)
+
+    def get_local(self, g: np.ndarray) -> np.ndarray:
+        """Read values at global indices that THIS rank owns."""
+        return self.local[np.asarray(g, np.int64) - self.lo]
+
+    def set_local(self, g: np.ndarray, values) -> None:
+        """Write values at global indices that THIS rank owns."""
+        self.local[np.asarray(g, np.int64) - self.lo] = values
+
+    def remote_location(self, g: int) -> tuple[int, int]:
+        """(owner rank, local offset) of one global index — the addressing
+        step of every one-sided RMA access in path-parallel augmentation."""
+        sub, block = self.vmap.owner(np.int64(g))
+        rank = (
+            int(sub) * self.grid.pc + int(block)
+            if self.orient == "col"
+            else int(block) * self.grid.pc + int(sub)
+        )
+        lo, _hi = self.vmap.local_range(int(sub), int(block))
+        return rank, int(g) - lo
+
+    def to_global(self) -> np.ndarray:
+        """Gather the full vector on every rank (collective; test helper)."""
+        pieces = self.grid.comm.allgather((self.lo, self.local))
+        out = np.full(self.n, NULL, dtype=np.int64)
+        for lo, arr in pieces:
+            out[lo:lo + arr.size] = arr
+        return out
+
+    @classmethod
+    def from_global(cls, grid: ProcGrid, arr: np.ndarray, orient: str) -> "DistDenseVec":
+        """Each rank slices its range out of a replicated global array
+        (test/boundary helper — no communication)."""
+        v = cls(grid, arr.size, orient)
+        v.local[:] = arr[v.lo:v.hi]
+        return v
+
+
+class DistVertexFrontier:
+    """This rank's entries of a sparse (parent, root) frontier.
+
+    ``idx`` are GLOBAL vertex ids confined to this rank's range, kept
+    sorted ascending; parent/root parallel arrays.
+    """
+
+    def __init__(self, grid: ProcGrid, n: int, orient: str,
+                 idx=None, parent=None, root=None) -> None:
+        self.grid = grid
+        self.orient = orient
+        self.vmap = make_vecmap(grid, n, orient)
+        sub, block = my_subblock(grid, orient)
+        self.lo, self.hi = self.vmap.local_range(sub, block)
+        e = np.empty(0, np.int64)
+        self.idx = e if idx is None else np.asarray(idx, np.int64)
+        self.parent = e.copy() if parent is None else np.asarray(parent, np.int64)
+        self.root = e.copy() if root is None else np.asarray(root, np.int64)
+        if self.idx.size:
+            if self.idx.min() < self.lo or self.idx.max() >= self.hi:
+                raise ValueError(
+                    f"frontier entries outside local range [{self.lo}, {self.hi})"
+                )
+
+    @property
+    def n(self) -> int:
+        return self.vmap.n
+
+    @property
+    def local_nnz(self) -> int:
+        return int(self.idx.size)
+
+    def global_nnz(self) -> int:
+        """Collective: total entries across ranks."""
+        from ..runtime.comm import SUM
+
+        return int(self.grid.comm.allreduce(self.local_nnz, op=SUM))
+
+    def keep(self, mask: np.ndarray) -> "DistVertexFrontier":
+        return DistVertexFrontier(
+            self.grid, self.n, self.orient,
+            self.idx[mask], self.parent[mask], self.root[mask],
+        )
+
+    def to_global_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Gather (idx, parent, root) of all ranks, sorted by idx
+        (collective; test helper)."""
+        pieces = self.grid.comm.allgather((self.idx, self.parent, self.root))
+        idx = np.concatenate([p[0] for p in pieces])
+        par = np.concatenate([p[1] for p in pieces])
+        root = np.concatenate([p[2] for p in pieces])
+        order = np.argsort(idx)
+        return idx[order], par[order], root[order]

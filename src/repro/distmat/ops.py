@@ -1,0 +1,123 @@
+"""Distributed primitives: routing, 2D SpMV, INVERT, PRUNE.
+
+These are the communication kernels of Section IV-B, written against the
+rank-local objects of this package:
+
+* :func:`route` — the personalized all-to-all workhorse: deliver parallel
+  arrays to explicit destination ranks (one ``alltoallv``);
+* :func:`spmv` — the 2D semiring SpMV: *expand* (allgather of the frontier
+  slice along the grid column) → local DCSC explode + pre-reduction →
+  *fold* (all-to-all of partial winners along the grid row) → destination
+  reduction;
+* :func:`invert_route` — INVERT's data movement: entries travel to the
+  owner of their *value* interpreted as an index on the other side — an
+  all-to-all over ALL p ranks, the paper's scaling bottleneck;
+* :func:`allgather_values` — PRUNE's root gather (ring allgather of a small
+  value set, replicated on every rank).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..runtime.comm import Communicator
+from ..sparse.semiring import SR_MIN_PARENT, Semiring, reduce_candidates
+from .distvec import DistDenseVec, DistVertexFrontier, make_vecmap, owner_ranks
+from .spmat import DistSparseMatrix
+
+
+def route(comm: Communicator, dest: np.ndarray, *arrays: np.ndarray) -> tuple[np.ndarray, ...]:
+    """Deliver ``arrays`` entries to communicator ranks ``dest``.
+
+    All arrays must be parallel (equal length).  Returns the received
+    arrays, concatenated in source-rank order.  One personalized
+    all-to-all.
+    """
+    dest = np.asarray(dest, dtype=np.int64)
+    order = np.argsort(dest, kind="stable")
+    sorted_dest = dest[order]
+    cuts = np.searchsorted(sorted_dest, np.arange(comm.size + 1))
+    payloads = [
+        tuple(a[order][cuts[r]:cuts[r + 1]] for a in arrays) for r in range(comm.size)
+    ]
+    received = comm.alltoallv(payloads)
+    return tuple(
+        np.concatenate([r[k] for r in received]) if received else np.empty(0, np.int64)
+        for k in range(len(arrays))
+    )
+
+
+def spmv(
+    A: DistSparseMatrix,
+    fc: DistVertexFrontier,
+    semiring: Semiring = SR_MIN_PARENT,
+    rng: np.random.Generator | None = None,
+) -> DistVertexFrontier:
+    """One step of distributed alternating BFS: ``f_r = A · f_c``.
+
+    Matches :meth:`repro.sparse.csc.CSC.spmv_frontier` exactly for
+    deterministic semirings (the integration tests assert this).
+    """
+    grid = A.grid
+    if fc.orient != "col":
+        raise ValueError("spmv expects a column frontier")
+
+    # -- expand: assemble the frontier entries of my column block.
+    # colcomm ranks own consecutive sub-ranges of block j, so rank-ordered
+    # concatenation is already sorted by global column id.
+    pieces = grid.colcomm.allgatherv((fc.idx, fc.root))
+    gcols = np.concatenate([p[0] for p in pieces])
+    groots = np.concatenate([p[1] for p in pieces])
+
+    # -- local explode on the DCSC block (select2nd: parent = column id)
+    lrows, parents, roots = A.block.explode_cols(gcols - A.col_lo, gcols, groots)
+    grows = lrows + A.row_lo
+    # local pre-reduction shrinks the fold volume (CombBLAS does the same)
+    grows, parents, roots = reduce_candidates(grows, parents, roots, semiring, rng)
+
+    # -- fold: send each partial winner to the row-vector owner of its row.
+    # All my rows live in row block i, whose sub-chunks are owned by the pc
+    # ranks of my grid row; the sub index IS the rowcomm rank.
+    vmap = make_vecmap(grid, A.nrows, "row")
+    sub, _block = vmap.owner(grows)
+    rrows, rparents, rroots = route(grid.rowcomm, sub, grows, parents, roots)
+
+    # -- destination reduction: one winner per row across all blocks
+    ridx, rpar, rroot = reduce_candidates(rrows, rparents, rroots, semiring, rng)
+    return DistVertexFrontier(grid, A.nrows, "row", ridx, rpar, rroot)
+
+
+def spmv_local_work(A: DistSparseMatrix, fc: DistVertexFrontier) -> int:
+    """Edge operations this rank's block performs for the given frontier
+    (after expand) — the measured F term of the cost model."""
+    grid = A.grid
+    pieces = grid.colcomm.allgatherv((fc.idx,))
+    gcols = np.concatenate([p[0] for p in pieces])
+    if gcols.size == 0 or A.block.nzc == 0:
+        return 0
+    loc = A.block._locate(gcols - A.col_lo)
+    loc = loc[loc >= 0]
+    return int((A.block.cp[loc + 1] - A.block.cp[loc]).sum())
+
+
+def invert_route(
+    grid,
+    targets: np.ndarray,
+    values: np.ndarray,
+    target_vec: DistDenseVec,
+) -> tuple[np.ndarray, np.ndarray]:
+    """INVERT's communication: deliver (target index, value) pairs to the
+    rank owning ``target`` in ``target_vec``'s distribution.
+
+    Returns the pairs received by THIS rank.  Collective over the full
+    grid communicator (all-to-all over p ranks — the αp latency the paper
+    identifies as the strong-scaling bottleneck).
+    """
+    dest = target_vec.owner_of(np.asarray(targets, np.int64))
+    return route(grid.comm, dest, np.asarray(targets, np.int64), np.asarray(values, np.int64))
+
+
+def allgather_values(comm: Communicator, values: np.ndarray) -> np.ndarray:
+    """PRUNE's gather: replicate a (small) value set on every rank."""
+    pieces = comm.allgatherv(values)
+    return np.concatenate(pieces) if pieces else np.empty(0, np.int64)

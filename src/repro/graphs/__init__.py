@@ -1,0 +1,30 @@
+"""Graph generators and the Table II input suite.
+
+* :mod:`~repro.graphs.rmat` — the Recursive MATrix generator with the
+  paper's exact seed parameters (§V-B): G500 (a=.57, b=c=.19, d=.05),
+  SSCA (a=.6, b=c=d=.4/3) and ER (a=b=c=d=.25); a scale-n matrix is 2ⁿ×2ⁿ
+  with edgefactor 32 (G500/ER) or 16 (SSCA) nonzeros per row on average.
+* :mod:`~repro.graphs.generators` — structural generators (meshes,
+  triangulations, banded, KKT blocks, overlapping cliques, boundary maps)
+  used to build stand-ins for the real-matrix suite.
+* :mod:`~repro.graphs.suite` — the 13-matrix Table II registry: each entry
+  pairs the paper's matrix (name, dimensions, nonzeros) with a structurally
+  matched synthetic generator at a configurable reduction factor.
+"""
+
+from . import generators, rmat, suite
+from .rmat import er, g500, rmat_graph, ssca
+from .suite import SUITE, SuiteEntry, load
+
+__all__ = [
+    "SUITE",
+    "SuiteEntry",
+    "er",
+    "g500",
+    "generators",
+    "load",
+    "rmat",
+    "rmat_graph",
+    "ssca",
+    "suite",
+]

@@ -1,0 +1,195 @@
+"""Structural graph generators for the Table II stand-in suite.
+
+Each generator produces a square (or deliberately rectangular) pattern
+matrix mimicking one structural class of the paper's real inputs.  The
+features that matter for matching behaviour — degree distribution, diameter
+(which sets the number of BFS iterations per phase), rectangularity, and
+structural deficiency (how many vertices a maximal matching leaves
+unmatched) — are matched per class; see ``suite.py`` for the mapping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse.coo import COO
+
+
+def _sym(n: int, rows: np.ndarray, cols: np.ndarray) -> COO:
+    """Symmetrize an edge list (road networks etc. are symmetric patterns)."""
+    return COO(n, n, np.concatenate([rows, cols]), np.concatenate([cols, rows]))
+
+
+def mesh_rect(w: int, h: int, diagonals: bool = False, drop: float = 0.0, seed: int = 0) -> COO:
+    """w×h grid mesh (road-network-like) with independently chosen width
+    and depth.
+
+    Scaled-down road stand-ins use a bounded ``h`` (BFS depth ∝ h) and put
+    the remaining vertices into ``w`` (frontier width ∝ w): a reduced
+    square mesh would otherwise shrink the frontier *width* — the source of
+    parallelism — by the full reduction factor, misrepresenting how the
+    24M-vertex originals behave on hundreds of ranks.
+    """
+    n = w * h
+    idx = np.arange(n, dtype=np.int64)
+    x, y = idx % w, idx // w
+    rows_list = []
+    cols_list = []
+    right = idx[x < w - 1]
+    rows_list.append(right); cols_list.append(right + 1)
+    down = idx[y < h - 1]
+    rows_list.append(down); cols_list.append(down + w)
+    if diagonals:
+        diag = idx[(x < w - 1) & (y < h - 1)]
+        rows_list.append(diag); cols_list.append(diag + w + 1)
+        anti = idx[(x > 0) & (y < h - 1)]
+        rows_list.append(anti); cols_list.append(anti + w - 1)
+    rows = np.concatenate(rows_list)
+    cols = np.concatenate(cols_list)
+    if drop > 0:
+        rng = np.random.default_rng(seed)
+        keep = rng.random(rows.size) >= drop
+        rows, cols = rows[keep], cols[keep]
+    return _sym(n, rows, cols)
+
+
+def mesh2d(k: int, diagonals: bool = False, drop: float = 0.0, seed: int = 0) -> COO:
+    """k×k grid mesh (road-network-like: degree ≤ 4 (or 8), huge diameter).
+
+    ``drop`` randomly removes a fraction of edges, which creates
+    degree-deficient pockets like real road networks' dead ends.
+    """
+    n = k * k
+    idx = np.arange(n, dtype=np.int64)
+    x, y = idx % k, idx // k
+    rows_list = []
+    cols_list = []
+    right = idx[x < k - 1]
+    rows_list.append(right); cols_list.append(right + 1)
+    down = idx[y < k - 1]
+    rows_list.append(down); cols_list.append(down + k)
+    if diagonals:
+        diag = idx[(x < k - 1) & (y < k - 1)]
+        rows_list.append(diag); cols_list.append(diag + k + 1)
+        anti = idx[(x > 0) & (y < k - 1)]
+        rows_list.append(anti); cols_list.append(anti + k - 1)
+    rows = np.concatenate(rows_list)
+    cols = np.concatenate(cols_list)
+    if drop > 0:
+        rng = np.random.default_rng(seed)
+        keep = rng.random(rows.size) >= drop
+        rows, cols = rows[keep], cols[keep]
+    # self loops on the diagonal, as adjacency matrices of UF graphs often have
+    return _sym(n, rows, cols)
+
+
+def triangulation_like(n: int, seed: int = 0) -> COO:
+    """Delaunay-like graph: ~6 neighbors per vertex, planar-ish locality.
+
+    Random points on a unit square, each connected to its ~3 nearest
+    neighbors within a bucket grid (symmetrized → average degree ≈ 6, the
+    Delaunay average), preserving the short-local-edge structure that gives
+    delaunay_n24 its moderate diameter.
+    """
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, 2))
+    k = max(1, int(np.sqrt(n)))
+    bucket = (np.minimum((pts[:, 0] * k).astype(np.int64), k - 1) * k
+              + np.minimum((pts[:, 1] * k).astype(np.int64), k - 1))
+    order = np.argsort(bucket, kind="stable")
+    # connect each point to the next few points in bucket order (locality)
+    src = order[:-1]
+    rows = [src, order[:-2], order[:-3] if n > 3 else np.empty(0, np.int64)]
+    cols = [order[1:], order[2:], order[3:] if n > 3 else np.empty(0, np.int64)]
+    return _sym(n, np.concatenate(rows), np.concatenate(cols))
+
+
+def banded(n: int, bandwidth: int, per_row: int, seed: int = 0, diag_frac: float = 0.7) -> COO:
+    """Banded random pattern (cage-like: DNA-walk matrices concentrate
+    nonzeros near the diagonal with a few per row).
+
+    Only ``diag_frac`` of the diagonal is explicitly present, leaving a
+    sliver of structural slack for the maximal-matching stage to miss (as
+    the large cage matrices do at full scale).
+    """
+    rng = np.random.default_rng(seed)
+    rows = np.repeat(np.arange(n, dtype=np.int64), per_row)
+    offs = rng.integers(-bandwidth, bandwidth + 1, rows.size)
+    cols = np.clip(rows + offs, 0, n - 1)
+    diag = np.flatnonzero(rng.random(n) < diag_frac).astype(np.int64)
+    return COO(n, n, np.concatenate([rows, diag]), np.concatenate([cols, diag]))
+
+
+def kkt_block(base: int, seed: int = 0) -> COO:
+    """KKT-structured pattern like nlpkkt:  [[H  Aᵀ],[A  0]] with H a banded
+    SPD-like block (3D mesh stencil) and A a wide constraint block.
+
+    The zero (2,2) block makes the matrix structurally harder: its rows can
+    only match through A, producing the deficiency pattern of optimization
+    KKT systems.
+    """
+    rng = np.random.default_rng(seed)
+    nh = base              # H block: nh x nh
+    na = base // 2         # A block: na x nh
+    n = nh + na
+    # H: tridiagonal + mesh-like offsets
+    i = np.arange(nh, dtype=np.int64)
+    h_rows = [i, i[:-1], i[:-1]]
+    h_cols = [i, i[:-1] + 1, i[:-1]]
+    off = max(1, int(np.sqrt(nh)))
+    h_rows.append(i[:-off]); h_cols.append(i[:-off] + off)
+    hr = np.concatenate(h_rows); hc = np.concatenate(h_cols)
+    # A: each constraint row touches ~3 random H columns
+    a_rows = np.repeat(np.arange(na, dtype=np.int64), 3) + nh
+    a_cols = rng.integers(0, nh, a_rows.size)
+    # assemble symmetrically: H and Hᵀ, A and Aᵀ
+    rows = np.concatenate([hr, hc, a_rows, a_cols])
+    cols = np.concatenate([hc, hr, a_cols, a_rows])
+    return COO(n, n, rows, cols)
+
+
+def clique_overlap(n: int, clique_size: int, seed: int = 0) -> COO:
+    """Union of overlapping cliques (coPapersDBLP-like co-authorship):
+    consecutive windows of ``clique_size`` vertices form cliques, with the
+    windows overlapping by half."""
+    step = max(1, clique_size // 2)
+    starts = np.arange(0, max(1, n - clique_size + 1), step, dtype=np.int64)
+    local_i, local_j = np.triu_indices(clique_size, k=1)
+    rows = (starts[:, None] + local_i[None, :]).ravel()
+    cols = (starts[:, None] + local_j[None, :]).ravel()
+    keep = (rows < n) & (cols < n)
+    return _sym(n, rows[keep], cols[keep])
+
+
+def boundary_map(n1: int, n2: int, per_col: int, seed: int = 0, cluster_frac: float = 0.25) -> COO:
+    """Very rectangular fixed-column-degree pattern (GL7d19-like simplicial
+    boundary map: every column has ``per_col`` nonzeros at quasi-random
+    rows).
+
+    A ``cluster_frac`` share of the columns draws its rows from a small
+    window (n1/16 rows): boundary maps repeat low-dimensional faces, which
+    is what gives GL7d19 its large structural deficiency.
+    """
+    rng = np.random.default_rng(seed)
+    cols = np.repeat(np.arange(n2, dtype=np.int64), per_col)
+    rows = rng.integers(0, n1, cols.size)
+    # cluster whole columns (a clustered column's entire support sits in the
+    # window, so an excess of such columns is structurally unmatchable)
+    clustered_cols = rng.random(n2) < cluster_frac
+    window = max(2, n1 // 16)
+    mask = clustered_cols[cols]
+    rows[mask] = rng.integers(0, window, int(mask.sum()))
+    return COO(n1, n2, rows, cols)
+
+
+def bipartite_er(n1: int, n2: int, nnz: int, seed: int = 0) -> COO:
+    """Plain Erdős-Rényi bipartite pattern with ~nnz nonzeros."""
+    rng = np.random.default_rng(seed)
+    return COO(n1, n2, rng.integers(0, n1, nnz), rng.integers(0, n2, nnz))
+
+
+def long_path(n: int) -> COO:
+    """A single path graph — worst case for level-synchronous algorithms
+    (diameter n); used by tests and the augmentation ablation."""
+    i = np.arange(n - 1, dtype=np.int64)
+    return _sym(n, i, i + 1)

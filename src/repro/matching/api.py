@@ -1,0 +1,118 @@
+"""User-facing matching API.
+
+These are the functions a downstream user (e.g. a sparse direct solver's
+preprocessing step) calls; everything else in the package is machinery
+behind them.
+
+>>> from repro import maximum_matching
+>>> from repro.graphs import rmat
+>>> g = rmat.g500(scale=10, seed=1)
+>>> mate_r, mate_c, stats = maximum_matching(g)
+>>> stats.final_cardinality > 0
+True
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..sparse.coo import COO
+from ..sparse.csc import CSC
+from ..sparse.semiring import SR_MIN_PARENT, Semiring
+from ..sparse.spvec import NULL
+from .maximal import dynamic_mindegree, greedy_maximal, karp_sipser
+from .msbfs import MatchingStats, MsBfsHooks, ms_bfs_mcm
+
+_INITIALIZERS: dict[str, Callable] = {
+    "greedy": greedy_maximal,
+    "karp-sipser": karp_sipser,
+    "mindegree": dynamic_mindegree,
+}
+
+
+def _as_csc(graph: "COO | CSC") -> CSC:
+    if isinstance(graph, CSC):
+        return graph
+    if isinstance(graph, COO):
+        return CSC.from_coo(graph)
+    raise TypeError(f"expected COO or CSC, got {type(graph).__name__}")
+
+
+def maximal_matching(
+    graph: "COO | CSC",
+    method: str = "mindegree",
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Maximal (not maximum) matching — the initializer stage.
+
+    ``method`` is one of ``"greedy"``, ``"karp-sipser"``, ``"mindegree"``
+    (the paper's default, see Section VI-A).  Returns ``(mate_r, mate_c)``
+    with -1 for unmatched vertices.
+    """
+    a = _as_csc(graph)
+    try:
+        fn = _INITIALIZERS[method]
+    except KeyError:
+        raise ValueError(
+            f"unknown maximal matching method {method!r}; "
+            f"choose from {sorted(_INITIALIZERS)}"
+        ) from None
+    return fn(a, np.random.default_rng(seed))
+
+
+def maximum_matching(
+    graph: "COO | CSC",
+    *,
+    init: str | None = "mindegree",
+    semiring: Semiring = SR_MIN_PARENT,
+    prune: bool = True,
+    seed: int = 0,
+    hooks: MsBfsHooks | None = None,
+    augment_mode: str = "auto",
+    direction: str = "topdown",
+) -> tuple[np.ndarray, np.ndarray, MatchingStats]:
+    """Maximum cardinality matching of a bipartite graph (Algorithm 2).
+
+    Parameters
+    ----------
+    graph:
+        The bipartite graph as an n₁×n₂ pattern matrix (COO or CSC).
+    init:
+        Maximal-matching initializer name, or ``None`` to start from the
+        empty matching.
+    semiring:
+        BFS tie-break semiring (see :mod:`repro.sparse.semiring`).
+    prune:
+        Enable Step 6 tree pruning (Fig. 8's knob; keep on).
+    seed:
+        Seed for the initializer and any randomized semiring.
+    hooks:
+        Optional :class:`~repro.matching.msbfs.MsBfsHooks` instrumentation.
+    augment_mode:
+        ``"level"``, ``"path"`` or ``"auto"``.
+    direction:
+        BFS traversal direction per iteration: ``"topdown"`` (the paper's
+        SpMV), ``"bottomup"``, or ``"auto"`` (direction-optimizing — the
+        paper's stated future work).
+
+    Returns ``(mate_r, mate_c, stats)``; the matching is provably maximum
+    (terminates only when a phase finds no augmenting path).
+    """
+    a = _as_csc(graph)
+    if init is None:
+        mate_r = mate_c = None
+    else:
+        mate_r, mate_c = maximal_matching(a, init, seed)
+    rng = np.random.default_rng(seed + 1)
+    return ms_bfs_mcm(
+        a, mate_r, mate_c,
+        semiring=semiring, rng=rng, prune=prune, hooks=hooks,
+        augment_mode=augment_mode, direction=direction,
+    )
+
+
+def matching_cardinality(mate: np.ndarray) -> int:
+    """Convenience: number of matched pairs described by a mate vector."""
+    return int((np.asarray(mate) != NULL).sum())

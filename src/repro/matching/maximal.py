@@ -1,0 +1,174 @@
+"""Serial maximal-matching initializers: greedy, Karp-Sipser, dynamic mindegree.
+
+Section II-A: initializing an MCM algorithm with a high-approximation-ratio
+maximal matching cuts total runtime substantially, and the three standard
+O(m) initializers differ only in the order unmatched vertices are processed:
+
+* **greedy** — arbitrary (index) order;
+* **Karp-Sipser** — degree-1 vertices first (matching a degree-1 vertex to
+  its unique neighbor is always optimal), random edge otherwise;
+* **dynamic mindegree** — always process a currently-minimum-degree vertex
+  (degrees maintained dynamically as the graph shrinks).
+
+These serial versions are the quality oracles for the round-synchronous
+distributed formulations in :mod:`repro.matching.maximal_rounds`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse.csc import CSC
+from ..sparse.spvec import NULL
+
+
+def _fresh(a: CSC) -> tuple[np.ndarray, np.ndarray]:
+    return (
+        np.full(a.nrows, NULL, dtype=np.int64),
+        np.full(a.ncols, NULL, dtype=np.int64),
+    )
+
+
+def greedy_maximal(a: CSC, rng: np.random.Generator | None = None) -> tuple[np.ndarray, np.ndarray]:
+    """Greedy: scan columns in index order, match each to its first
+    still-unmatched neighbor.  O(m)."""
+    mate_r, mate_c = _fresh(a)
+    indptr, indices = a.indptr, a.indices
+    for c in range(a.ncols):
+        for pos in range(indptr[c], indptr[c + 1]):
+            r = int(indices[pos])
+            if mate_r[r] == NULL:
+                mate_r[r] = c
+                mate_c[c] = r
+                break
+    return mate_r, mate_c
+
+
+def karp_sipser(a: CSC, rng: np.random.Generator | None = None) -> tuple[np.ndarray, np.ndarray]:
+    """Karp-Sipser: exhaust degree-1 vertices before resorting to random
+    picks.
+
+    Degrees of the *residual* graph (unmatched vertices only) are maintained
+    with lazy decrements: matching a vertex decrements all its neighbors'
+    degrees; vertices reaching degree 1 enter the queue.  When no degree-1
+    vertex exists, an unmatched column is drawn at random and matched to a
+    random unmatched neighbor.  Amortized O(m).
+    """
+    rng = rng or np.random.default_rng(0)
+    mate_r, mate_c = _fresh(a)
+    at = a.transpose()  # row-side adjacency
+    deg_r = a.row_degrees().copy()
+    deg_c = a.col_degrees().copy()
+
+    def neighbors_c(c: int) -> np.ndarray:
+        return a.column(c)
+
+    def neighbors_r(r: int) -> np.ndarray:
+        return at.column(r)
+
+    def match(r: int, c: int) -> None:
+        mate_r[r] = c
+        mate_c[c] = r
+        for rr in neighbors_c(c).tolist():
+            deg_r[rr] -= 1
+            if deg_r[rr] == 1 and mate_r[rr] == NULL:
+                q_rows.append(rr)
+        for cc in neighbors_r(r).tolist():
+            deg_c[cc] -= 1
+            if deg_c[cc] == 1 and mate_c[cc] == NULL:
+                q_cols.append(cc)
+
+    q_rows = [int(r) for r in np.flatnonzero((deg_r == 1))]
+    q_cols = [int(c) for c in np.flatnonzero((deg_c == 1))]
+    # random processing order for the fallback stage
+    col_order = rng.permutation(a.ncols)
+
+    ptr = 0
+    while True:
+        # -- degree-1 stage
+        progressed = True
+        while progressed:
+            progressed = False
+            while q_rows:
+                r = q_rows.pop()
+                if mate_r[r] != NULL or deg_r[r] != 1:
+                    continue
+                cand = [c for c in neighbors_r(r).tolist() if mate_c[c] == NULL]
+                if cand:
+                    match(r, cand[0])
+                    progressed = True
+            while q_cols:
+                c = q_cols.pop()
+                if mate_c[c] != NULL or deg_c[c] != 1:
+                    continue
+                cand = [r for r in neighbors_c(c).tolist() if mate_r[r] == NULL]
+                if cand:
+                    match(cand[0], c)
+                    progressed = True
+        # -- random stage: one pick, then return to degree-1 processing
+        while ptr < col_order.size:
+            c = int(col_order[ptr])
+            ptr += 1
+            if mate_c[c] != NULL:
+                continue
+            cand = neighbors_c(c)
+            cand = cand[mate_r[cand] == NULL]
+            if cand.size:
+                match(int(cand[rng.integers(cand.size)]), c)
+                break
+        else:
+            break  # all columns processed
+    return mate_r, mate_c
+
+
+def dynamic_mindegree(a: CSC, rng: np.random.Generator | None = None) -> tuple[np.ndarray, np.ndarray]:
+    """Dynamic mindegree: always match a currently-minimum-degree unmatched
+    column to its minimum-degree unmatched row neighbor.
+
+    Implemented with degree buckets over columns (degrees only decrease, so
+    a lazily-maintained bucket queue gives amortized O(m + n) total).
+    """
+    mate_r, mate_c = _fresh(a)
+    at = a.transpose()
+    deg_r = a.row_degrees().copy()
+    deg_c = a.col_degrees().copy()
+    maxdeg = int(deg_c.max()) if a.ncols else 0
+
+    buckets: list[list[int]] = [[] for _ in range(maxdeg + 1)]
+    for c in range(a.ncols):
+        buckets[deg_c[c]].append(c)
+
+    def requeue(c: int) -> None:
+        d = int(deg_c[c])
+        if 0 <= d <= maxdeg:
+            buckets[d].append(c)
+
+    d = 0
+    while d <= maxdeg:
+        if not buckets[d]:
+            d += 1
+            continue
+        c = buckets[d].pop()
+        if mate_c[c] != NULL:
+            continue
+        if deg_c[c] != d:  # stale entry: degree has decreased since queueing
+            continue
+        cand = a.column(c)
+        cand = cand[mate_r[cand] == NULL]
+        if cand.size == 0:
+            if d != 0:
+                deg_c[c] = 0  # isolated in the residual graph
+            continue
+        r = int(cand[np.argmin(deg_r[cand])])
+        mate_r[r] = c
+        mate_c[c] = r
+        # update residual degrees and requeue touched columns
+        for rr in a.column(c).tolist():
+            deg_r[rr] -= 1
+        for cc in at.column(r).tolist():
+            if mate_c[cc] == NULL:
+                deg_c[cc] -= 1
+                if deg_c[cc] < d:
+                    d = max(0, int(deg_c[cc]))
+                requeue(cc)
+    return mate_r, mate_c

@@ -1,0 +1,288 @@
+"""Algorithm 2: the matrix-algebraic MS-BFS maximum-matching search.
+
+This module is the paper's Figure 1 / Algorithm 2 written over the Table I
+primitives with NumPy-global state.  It is *numerically identical* to the
+distributed implementation (``mcm_dist``) — both compose the same seven
+steps — and serves three roles:
+
+1. the fast single-process reference implementation of the public API;
+2. the execution engine of the performance simulator: the
+   :class:`MsBfsHooks` callbacks expose, per superstep, exactly the
+   quantities the α-β model needs (frontier sizes, edges touched, candidate
+   destinations, prune volumes), measured from the real run;
+3. the semantics oracle the SPMD implementation is tested against.
+
+Each phase grows vertex-disjoint alternating BFS trees from all unmatched
+columns, records at most one augmenting path per tree (keyed by root in the
+dense ``path_c``), optionally prunes trees that already found a path
+(Section VI-D studies the impact), and finally augments by all discovered
+paths at once.  Phases repeat until one finds no augmenting path, which by
+Berge's theorem certifies maximum cardinality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..sparse.csc import CSC, ragged_gather
+from ..sparse.semiring import SR_MIN_PARENT, Semiring, reduce_candidates
+from ..sparse.spvec import NULL, VertexFrontier
+from .augment import AugmentStats, augment_auto
+
+
+def _explode_rows(a: CSC, cols: np.ndarray) -> np.ndarray:
+    """All row indices adjacent to ``cols`` (with multiplicity)."""
+    rows, _ = ragged_gather(a.indptr, a.indices, cols)
+    return rows
+
+
+class MsBfsHooks:
+    """Instrumentation callbacks; the default implementation is a no-op.
+
+    The performance simulator subclasses this and converts each event into
+    priced supersteps.  All array arguments are read-only views of live
+    algorithm state — implementations must not mutate them.
+    """
+
+    def on_phase_start(self, fc_nnz: int) -> None:
+        """A phase begins with ``fc_nnz`` unmatched columns on the frontier."""
+
+    def on_spmv(self, fc: VertexFrontier, cand_rows: np.ndarray, cand_cols: np.ndarray, fr: VertexFrontier) -> None:
+        """Step 1 done top-down: ``cand_*`` are the exploded edge endpoints
+        (the fold traffic); ``fr`` the reduced row frontier (before Step 2's
+        filter)."""
+
+    def on_spmv_bottomup(self, fc: VertexFrontier, cand_rows: np.ndarray, cand_cols: np.ndarray, fr: VertexFrontier) -> None:
+        """Step 1 done bottom-up (direction-optimized): the *unvisited rows*
+        scanned their adjacency against a dense frontier bitmap.  ``cand_*``
+        are the examined edges; in distributed terms the frontier travels as
+        a dense block (allgather of the bitmap + roots) instead of a sparse
+        expand."""
+
+    def on_select_set(self, fr: VertexFrontier, ufr: VertexFrontier) -> None:
+        """Steps 2-4 done: frontier filtered to matched (``fr``) and
+        unmatched (``ufr``) row subsets."""
+
+    def on_invert_paths(self, ufr: VertexFrontier) -> None:
+        """Step 5: INVERT of the unmatched rows' roots — (row, root) pairs
+        travel to the root owners (alltoall over all p ranks)."""
+
+    def on_prune(self, fr: VertexFrontier, new_path_roots: np.ndarray, kept: int) -> None:
+        """Step 6: PRUNE of ψ=fr.nnz against μ=len(new_path_roots)."""
+
+    def on_next_frontier(self, fr: VertexFrontier, fc_cols: np.ndarray) -> None:
+        """Step 7: INVERT through mates produced the next column frontier."""
+
+    def on_iteration_end(self, iteration: int) -> None:
+        """One level-synchronous iteration of the while loop finished."""
+
+    def on_phase_end(self, paths_found: int, phase_iters: int) -> None:
+        """A phase ended having discovered ``paths_found`` augmenting paths."""
+
+
+@dataclass
+class MatchingStats:
+    """Execution statistics of one MCM run (useful in tests and benches)."""
+
+    phases: int = 0
+    iterations: int = 0
+    edges_traversed: int = 0
+    paths_per_phase: list[int] = field(default_factory=list)
+    augment: AugmentStats = field(default_factory=AugmentStats)
+    initial_cardinality: int = 0
+    final_cardinality: int = 0
+
+    @property
+    def total_paths(self) -> int:
+        return sum(self.paths_per_phase)
+
+
+def _bottom_up_step(
+    a: CSC,
+    fc: VertexFrontier,
+    pi_r: np.ndarray,
+    semiring: Semiring,
+    rng: np.random.Generator | None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Direction-optimized Step 1: unvisited rows scan THEIR adjacency for
+    frontier columns, instead of frontier columns pushing to rows.
+
+    With a deterministic semiring the winners are identical to the top-down
+    step's (the candidate edge set {(r, c) : c ∈ f_c, r unvisited} is the
+    same; only the traversal direction differs), so the switch never changes
+    the computed matching.  Returns the examined (cand_rows, cand_cols) and
+    is followed by the shared reduction.
+    """
+    at = a.transpose()
+    unvisited = np.flatnonzero(pi_r == NULL)
+    cand_cols, counts = ragged_gather(at.indptr, at.indices, unvisited)
+    cand_rows = np.repeat(unvisited, counts)
+    # dense frontier membership + root lookup (the replicated bitmap of the
+    # distributed formulation)
+    root_of = np.full(a.ncols, NULL, dtype=np.int64)
+    root_of[fc.idx] = fc.root
+    hit = root_of[cand_cols] != NULL
+    return cand_rows[hit], cand_cols[hit], root_of
+
+
+def run_phase(
+    a: CSC,
+    mate_r: np.ndarray,
+    mate_c: np.ndarray,
+    pi_r: np.ndarray,
+    *,
+    semiring: Semiring = SR_MIN_PARENT,
+    rng: np.random.Generator | None = None,
+    prune: bool = True,
+    hooks: MsBfsHooks | None = None,
+    stats: MatchingStats | None = None,
+    direction: str = "topdown",
+) -> np.ndarray:
+    """One phase of Algorithm 2 (the repeat-until body, lines 3–25).
+
+    Mutates ``pi_r`` (parents of rows visited this phase, NULL elsewhere)
+    and returns the dense ``path_c``: ``path_c[j] = i`` records an
+    augmenting path from unmatched column j to unmatched row i.
+
+    ``direction`` selects the Step 1 traversal: ``"topdown"`` (the paper's
+    SpMV), ``"bottomup"`` (unvisited rows pull from a dense frontier — the
+    paper's stated future work), or ``"auto"`` (per-iteration choice by
+    comparing the two directions' edge counts, the classic
+    direction-optimization rule).
+    """
+    if direction not in ("topdown", "bottomup", "auto"):
+        raise ValueError(f"direction must be topdown/bottomup/auto, got {direction!r}")
+    hooks = hooks or MsBfsHooks()
+    n2 = a.ncols
+    path_c = np.full(n2, NULL, dtype=np.int64)
+    deg_r = a.row_degrees() if direction != "topdown" else None
+
+    # Initial column frontier: every unmatched column, parent = root = self.
+    fc = VertexFrontier.roots_of_self(n2, np.flatnonzero(mate_c == NULL))
+    hooks.on_phase_start(fc.nnz)
+
+    iteration = 0
+    while fc.nnz:
+        iteration += 1
+        # -- Step 1: explore neighbors of the column frontier (one BFS step)
+        use_bottom_up = direction == "bottomup"
+        if direction == "auto":
+            top_down_edges = a.spmv_count(fc)
+            bottom_up_edges = int(deg_r[pi_r == NULL].sum())
+            use_bottom_up = bottom_up_edges < top_down_edges
+        if use_bottom_up:
+            cand_rows, cand_cols, root_of = _bottom_up_step(a, fc, pi_r, semiring, rng)
+            cand_parents = cand_cols
+            cand_roots = root_of[cand_cols]
+            ridx, rpar, rroot = reduce_candidates(cand_rows, cand_parents, cand_roots, semiring, rng)
+            fr = VertexFrontier(a.nrows, ridx, rpar, rroot)
+            hooks.on_spmv_bottomup(fc, cand_rows, cand_parents, fr)
+        else:
+            cand_rows, cand_parents, cand_roots, _ = a.explode_frontier(fc)
+            ridx, rpar, rroot = reduce_candidates(cand_rows, cand_parents, cand_roots, semiring, rng)
+            fr = VertexFrontier(a.nrows, ridx, rpar, rroot)
+            hooks.on_spmv(fc, cand_rows, cand_parents, fr)
+        if stats is not None:
+            stats.edges_traversed += cand_rows.size
+
+        # -- Step 2: keep unvisited rows (SELECT on π_r = -1)
+        fr = fr.keep(pi_r[fr.idx] == NULL)
+        # -- Step 3: record their parents (SET)
+        pi_r[fr.idx] = fr.parent
+        # -- Step 4: split into unmatched and matched rows (two SELECTs)
+        unmatched = mate_r[fr.idx] == NULL
+        ufr = fr.keep(unmatched)
+        fr = fr.keep(~unmatched)
+        hooks.on_select_set(fr, ufr)
+
+        if ufr.nnz:
+            # -- Step 5: store endpoints of new augmenting paths
+            # INVERT(ROOT(uf_r)): roots become indices, rows become values;
+            # first occurrence wins, and roots that found a path in an
+            # earlier iteration (possible only with pruning off) keep the
+            # earlier, shorter path.
+            hooks.on_invert_paths(ufr)
+            troots, first = np.unique(ufr.root, return_index=True)
+            fresh = path_c[troots] == NULL
+            path_c[troots[fresh]] = ufr.idx[first[fresh]]
+
+            # -- Step 6: prune trees that discovered augmenting paths
+            if prune and fr.nnz:
+                keep = ~np.isin(fr.root, troots)
+                hooks.on_prune(fr, troots, int(keep.sum()))
+                fr = fr.keep(keep)
+
+        # -- Step 7: next column frontier = mates of the matched rows, with
+        # parents set to the mates themselves and roots carried over
+        # (SET + INVERT in the paper's formulation).
+        mates = mate_r[fr.idx]
+        order = np.argsort(mates)
+        fc = VertexFrontier(n2, mates[order], mates[order], fr.root[order])
+        hooks.on_next_frontier(fr, mates)
+        hooks.on_iteration_end(iteration)
+        if stats is not None:
+            stats.iterations += 1
+
+    hooks.on_phase_end(int((path_c != NULL).sum()), iteration)
+    return path_c
+
+
+def ms_bfs_mcm(
+    a: CSC,
+    mate_r: np.ndarray | None = None,
+    mate_c: np.ndarray | None = None,
+    *,
+    semiring: Semiring = SR_MIN_PARENT,
+    rng: np.random.Generator | None = None,
+    prune: bool = True,
+    hooks: MsBfsHooks | None = None,
+    augment_mode: str = "auto",
+    nprocs_for_switch: int = 1,
+    direction: str = "topdown",
+) -> tuple[np.ndarray, np.ndarray, MatchingStats]:
+    """MCM-DIST's algorithm (Algorithm 2) on global arrays.
+
+    Parameters
+    ----------
+    a:
+        The bipartite graph as an n₁×n₂ pattern matrix.
+    mate_r, mate_c:
+        Initial matching (e.g. from a maximal-matching initializer); fresh
+        unmatched vectors when omitted.  Updated copies are returned.
+    semiring:
+        Candidate tie-break; ``SR_MIN_PARENT`` reproduces the paper's
+        running example, ``SR_RAND_ROOT`` balances tree sizes.
+    prune:
+        Step 6 on/off — the knob of the paper's Fig. 8 study.
+    augment_mode:
+        "level" (Algorithm 3), "path" (Algorithm 4) or "auto" (the paper's
+        k < 2p² switch, using ``nprocs_for_switch`` processes).
+
+    Returns ``(mate_r, mate_c, stats)``.
+    """
+    mate_r = np.full(a.nrows, NULL, dtype=np.int64) if mate_r is None else np.asarray(mate_r, np.int64).copy()
+    mate_c = np.full(a.ncols, NULL, dtype=np.int64) if mate_c is None else np.asarray(mate_c, np.int64).copy()
+    stats = MatchingStats(initial_cardinality=int((mate_r != NULL).sum()))
+    pi_r = np.empty(a.nrows, dtype=np.int64)
+
+    while True:
+        pi_r.fill(NULL)
+        stats.phases += 1
+        path_c = run_phase(
+            a, mate_r, mate_c, pi_r,
+            semiring=semiring, rng=rng, prune=prune, hooks=hooks, stats=stats,
+            direction=direction,
+        )
+        k = int((path_c != NULL).sum())
+        stats.paths_per_phase.append(k)
+        if k == 0:
+            break
+        augment_auto(
+            path_c, pi_r, mate_r, mate_c,
+            mode=augment_mode, nprocs=nprocs_for_switch, stats=stats.augment,
+        )
+
+    stats.final_cardinality = int((mate_r != NULL).sum())
+    return mate_r, mate_c, stats

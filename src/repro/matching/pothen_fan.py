@@ -1,0 +1,95 @@
+"""Pothen-Fan: multi-source DFS with lookahead (serial reference).
+
+The paper's Section II-A cites Pothen-Fan [12] as the specialized
+multi-source DFS that outperforms Hopcroft-Karp on most practical inputs
+(on shared memory).  Structure: phases of DFS from every unmatched column;
+before descending, each column first *looks ahead* for an immediately
+adjacent unmatched row (the classic PF optimization that skips most deep
+searches); visited marks are phase-global so the paths found within a phase
+are vertex-disjoint.  Phases repeat until none augments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse.csc import CSC
+from ..sparse.spvec import NULL
+
+
+def pothen_fan(
+    a: CSC,
+    mate_r: np.ndarray | None = None,
+    mate_c: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Maximum matching by repeated phases of lookahead-DFS."""
+    n1, n2 = a.nrows, a.ncols
+    mate_r = np.full(n1, NULL, np.int64) if mate_r is None else np.asarray(mate_r, np.int64).copy()
+    mate_c = np.full(n2, NULL, np.int64) if mate_c is None else np.asarray(mate_c, np.int64).copy()
+    indptr, indices = a.indptr, a.indices
+
+    # Lookahead cursor persists ACROSS phases: each column's adjacency is
+    # scanned for free rows at most once over the whole run (Duff-style).
+    lookahead = indptr.copy()[:-1]
+
+    while True:
+        augmented = 0
+        visited_row = np.zeros(n1, dtype=bool)
+        cursor = indptr.copy()[:-1]
+        for c0 in np.flatnonzero(mate_c == NULL):
+            if _dfs_lookahead(
+                int(c0), indptr, indices, cursor, lookahead, visited_row, mate_r, mate_c
+            ):
+                augmented += 1
+        if augmented == 0:
+            break
+    return mate_r, mate_c
+
+
+def _dfs_lookahead(
+    c0: int,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    cursor: np.ndarray,
+    lookahead: np.ndarray,
+    visited_row: np.ndarray,
+    mate_r: np.ndarray,
+    mate_c: np.ndarray,
+) -> bool:
+    """Iterative DFS from column ``c0``; True if it augmented."""
+    stack = [c0]
+    chosen: list[int] = []
+    while stack:
+        c = stack[-1]
+        # -- lookahead: any adjacent free row ends the search immediately
+        free_row = NULL
+        while lookahead[c] < indptr[c + 1]:
+            r = int(indices[lookahead[c]])
+            lookahead[c] += 1
+            if mate_r[r] == NULL and not visited_row[r]:
+                free_row = r
+                break
+        if free_row != NULL:
+            visited_row[free_row] = True
+            chosen.append(free_row)
+            for cc, rr in zip(stack, chosen):
+                mate_c[cc] = rr
+                mate_r[rr] = cc
+            return True
+        # -- regular DFS step over matched rows
+        advanced = False
+        while cursor[c] < indptr[c + 1]:
+            r = int(indices[cursor[c]])
+            cursor[c] += 1
+            if visited_row[r] or mate_r[r] == NULL:
+                continue  # free rows are the lookahead's job
+            visited_row[r] = True
+            chosen.append(r)
+            stack.append(int(mate_r[r]))
+            advanced = True
+            break
+        if not advanced:
+            stack.pop()
+            while len(chosen) > max(0, len(stack) - 1):
+                chosen.pop()
+    return False

@@ -1,0 +1,60 @@
+"""Single-source BFS maximum matching — the obviously-correct O(mn) oracle.
+
+The simplest textbook algorithm (the paper's "SS" family): repeatedly grow
+one alternating BFS tree from a single unmatched column; if it reaches an
+unmatched row, flip the path.  No tree interaction, no pruning, no
+parallelism — slow, but its correctness is immediate, which makes it the
+ground truth for everything else in this package.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..sparse.csc import CSC
+from ..sparse.spvec import NULL
+
+
+def _augment_from(a: CSC, c0: int, mate_r: np.ndarray, mate_c: np.ndarray) -> bool:
+    """BFS an alternating tree from unmatched column ``c0``; augment and
+    return True if an unmatched row is reached."""
+    parent_col_of_row: dict[int, int] = {}
+    queue: deque[int] = deque([c0])
+    visited_cols = {c0}
+    while queue:
+        c = queue.popleft()
+        for r in a.column(c).tolist():
+            if r in parent_col_of_row:
+                continue
+            parent_col_of_row[r] = c
+            m = int(mate_r[r])
+            if m == NULL:
+                # augment: walk parents back to c0
+                while True:
+                    c_par = parent_col_of_row[r]
+                    nxt = int(mate_c[c_par])
+                    mate_r[r] = c_par
+                    mate_c[c_par] = r
+                    if c_par == c0:
+                        return True
+                    r = nxt
+            if m not in visited_cols:
+                visited_cols.add(m)
+                queue.append(m)
+    return False
+
+
+def single_source_mcm(
+    a: CSC,
+    mate_r: np.ndarray | None = None,
+    mate_c: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Maximum matching by one BFS per unmatched column (O(mn))."""
+    mate_r = np.full(a.nrows, NULL, np.int64) if mate_r is None else np.asarray(mate_r, np.int64).copy()
+    mate_c = np.full(a.ncols, NULL, np.int64) if mate_c is None else np.asarray(mate_c, np.int64).copy()
+    for c in range(a.ncols):
+        if mate_c[c] == NULL:
+            _augment_from(a, c, mate_r, mate_c)
+    return mate_r, mate_c

@@ -1,0 +1,103 @@
+"""Per-kernel time attribution (the quantity Fig. 5 of the paper plots).
+
+Every superstep charged to the simulated clock carries a :class:`Category`;
+the :class:`Breakdown` accumulates compute and communication seconds per
+category so benches can print the paper's runtime-breakdown bars.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Category(str, enum.Enum):
+    """Kernels the paper's breakdown distinguishes, plus INIT for the
+    maximal-matching initialization."""
+
+    SPMV = "SpMV"
+    INVERT = "Invert"
+    SELECT_SET = "Select+Set"
+    PRUNE = "Prune"
+    AUGMENT = "Augment"
+    INIT = "MaximalInit"
+    OTHER = "Other"
+
+
+@dataclass
+class Entry:
+    compute: float = 0.0
+    comm: float = 0.0
+    steps: int = 0
+
+    @property
+    def total(self) -> float:
+        return self.compute + self.comm
+
+
+@dataclass
+class Breakdown:
+    """Accumulated model time per kernel category."""
+
+    entries: dict[Category, Entry] = field(default_factory=dict)
+
+    def charge(self, category: Category, compute: float, comm: float) -> None:
+        e = self.entries.setdefault(category, Entry())
+        e.compute += compute
+        e.comm += comm
+        e.steps += 1
+
+    @property
+    def total(self) -> float:
+        return sum(e.total for e in self.entries.values())
+
+    @property
+    def total_compute(self) -> float:
+        return sum(e.compute for e in self.entries.values())
+
+    @property
+    def total_comm(self) -> float:
+        return sum(e.comm for e in self.entries.values())
+
+    def fraction(self, category: Category) -> float:
+        """Share of total time spent in ``category`` (0 when never charged)."""
+        total = self.total
+        if total == 0:
+            return 0.0
+        e = self.entries.get(category)
+        return 0.0 if e is None else e.total / total
+
+    def seconds(self, category: Category) -> float:
+        e = self.entries.get(category)
+        return 0.0 if e is None else e.total
+
+    def merged(self, other: "Breakdown") -> "Breakdown":
+        out = Breakdown()
+        for src in (self, other):
+            for cat, e in src.entries.items():
+                acc = out.entries.setdefault(cat, Entry())
+                acc.compute += e.compute
+                acc.comm += e.comm
+                acc.steps += e.steps
+        return out
+
+    def rows(self) -> list[tuple[str, float, float, float, int]]:
+        """(category, compute s, comm s, total s, steps) sorted by total."""
+        return sorted(
+            (
+                (cat.value, e.compute, e.comm, e.total, e.steps)
+                for cat, e in self.entries.items()
+            ),
+            key=lambda r: -r[3],
+        )
+
+    def format_table(self) -> str:
+        lines = [f"{'kernel':<12} {'compute(s)':>12} {'comm(s)':>12} {'total(s)':>12} {'share':>7} {'steps':>7}"]
+        total = self.total or 1.0
+        for name, comp, comm, tot, steps in self.rows():
+            lines.append(
+                f"{name:<12} {comp:>12.4g} {comm:>12.4g} {tot:>12.4g} "
+                f"{tot / total:>6.1%} {steps:>7}"
+            )
+        lines.append(f"{'TOTAL':<12} {self.total_compute:>12.4g} {self.total_comm:>12.4g} {self.total:>12.4g}")
+        return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Simulated message-passing runtime (an in-process "MPI").
+
+The paper's algorithms are written against MPI semantics: two-sided
+point-to-point messages, bulk-synchronous collectives (broadcast, gather,
+allgather, personalized all-to-all, reductions, scans) and one-sided Remote
+Memory Access (RMA) windows with ``get``/``put``/``accumulate``/
+``fetch_and_op``.  On the reproduction platform there is no MPI and no
+multi-node machine, so this package provides those semantics *exactly* inside
+a single process: every simulated rank is an OS thread running the user's
+SPMD function, connected to its peers through a :class:`~repro.runtime.fabric.Fabric`
+of mailboxes.  Data really moves between per-rank buffers; nothing is shared
+behind the API's back, which is what makes the distributed algorithms built
+on top of it (``repro.distmat``) honest distributed-memory code.
+
+Entry points
+------------
+
+``spmd(nranks, fn, *args)``
+    Run ``fn(comm, *args)`` on ``nranks`` simulated ranks and return the list
+    of per-rank return values.
+
+``Communicator``
+    The MPI-like handle passed to each rank.
+
+``Window``
+    One-sided RMA window collectively created over a communicator.
+"""
+
+from .errors import (
+    CommAbort,
+    CommError,
+    CollectiveMismatchError,
+    DeadlockError,
+    WindowError,
+)
+from .fabric import Fabric, ANY_SOURCE, ANY_TAG
+from .comm import Communicator, CommStats, ReduceOp, MIN, MAX, SUM, PROD, LAND, LOR, BAND, BOR
+from .rma import Window
+from .executor import spmd, SpmdResult
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "BAND",
+    "BOR",
+    "CollectiveMismatchError",
+    "CommAbort",
+    "CommError",
+    "CommStats",
+    "Communicator",
+    "DeadlockError",
+    "Fabric",
+    "LAND",
+    "LOR",
+    "MAX",
+    "MIN",
+    "PROD",
+    "ReduceOp",
+    "SUM",
+    "SpmdResult",
+    "Window",
+    "spmd",
+]

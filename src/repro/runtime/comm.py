@@ -1,0 +1,399 @@
+"""MPI-like communicators over the simulated fabric.
+
+Every collective below is implemented on top of the two-sided ``send`` /
+``recv`` primitives with the classical algorithms whose costs the paper's
+analysis assumes:
+
+============  ==============================  =============================
+collective    algorithm                        α-β cost (length-W payload)
+============  ==============================  =============================
+barrier       dissemination                    α·⌈log₂p⌉
+bcast         binomial tree                    (α + βW)·⌈log₂p⌉
+reduce        binomial tree                    (α + βW)·⌈log₂p⌉
+allreduce     reduce + bcast                   2(α + βW)·⌈log₂p⌉
+gather(v)     direct to root                   α(p-1) + βW at root
+scatter(v)    direct from root                 α(p-1) + βW at root
+allgather(v)  ring                             α(p-1) + βW·(p-1)/p
+alltoall(v)   pairwise exchange                α(p-1) + βW
+exscan/scan   linear chain                     α(p-1)
+============  ==============================  =============================
+
+The matching cost *formulas* live in :mod:`repro.perfmodel.collectives`; this
+module moves real data with the same communication pattern, so integration
+tests can check that measured message counts equal the model's predictions.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from .errors import CollectiveMismatchError
+from .fabric import ANY_SOURCE, ANY_TAG, Fabric, _RESERVED_TAG_BASE
+
+
+class ReduceOp:
+    """A named, associative reduction operator usable by reduce/allreduce/scan.
+
+    ``fn`` combines two values (scalars or NumPy arrays of equal shape) and
+    must be associative; commutativity is also assumed, as in MPI's built-in
+    operators.
+    """
+
+    def __init__(self, name: str, fn: Callable[[Any, Any], Any]) -> None:
+        self.name = name
+        self.fn = fn
+
+    def __call__(self, a: Any, b: Any) -> Any:
+        return self.fn(a, b)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ReduceOp({self.name})"
+
+
+SUM = ReduceOp("sum", lambda a, b: a + b)
+PROD = ReduceOp("prod", lambda a, b: a * b)
+MIN = ReduceOp("min", lambda a, b: np.minimum(a, b))
+MAX = ReduceOp("max", lambda a, b: np.maximum(a, b))
+LAND = ReduceOp("land", lambda a, b: np.logical_and(a, b))
+LOR = ReduceOp("lor", lambda a, b: np.logical_or(a, b))
+BAND = ReduceOp("band", lambda a, b: a & b)
+BOR = ReduceOp("bor", lambda a, b: a | b)
+
+
+@dataclass
+class CommStats:
+    """Per-rank communication counters (messages and payload words).
+
+    ``words`` counts 8-byte words for NumPy payloads (the unit the paper's β
+    is expressed in); non-array payloads count as one word per Python object.
+    """
+
+    messages_sent: int = 0
+    words_sent: int = 0
+    by_op: dict[str, int] = field(default_factory=dict)
+
+    def record(self, op: str, payload: Any) -> None:
+        self.messages_sent += 1
+        self.words_sent += _payload_words(payload)
+        self.by_op[op] = self.by_op.get(op, 0) + 1
+
+
+def _payload_words(payload: Any) -> int:
+    if isinstance(payload, np.ndarray):
+        return (payload.nbytes + 7) // 8
+    if isinstance(payload, (tuple, list)):
+        return sum(_payload_words(x) for x in payload)
+    return 1
+
+
+def _freeze(payload: Any) -> Any:
+    """Copy a payload at send time so sender-side mutation after ``send``
+    returns can never be observed by the receiver (wire semantics)."""
+    if isinstance(payload, np.ndarray):
+        return payload.copy()
+    if isinstance(payload, tuple):
+        return tuple(_freeze(x) for x in payload)
+    if isinstance(payload, list):
+        return [_freeze(x) for x in payload]
+    if isinstance(payload, (int, float, bool, str, bytes, type(None), np.generic)):
+        return payload
+    return copy.deepcopy(payload)
+
+
+class Communicator:
+    """The per-rank handle of one process group.
+
+    ``group`` lists the *global* fabric ranks belonging to this communicator,
+    ordered by communicator rank; ``self.rank`` is this rank's position in
+    that list.  The base communicator created by the executor covers all
+    fabric ranks; sub-communicators (e.g. the process-grid row and column
+    communicators used by the 2D SpMV) are created with :meth:`split`.
+    """
+
+    def __init__(self, fabric: Fabric, comm_id: int, group: Sequence[int], rank: int) -> None:
+        self.fabric = fabric
+        self.comm_id = comm_id
+        self.group = list(group)
+        self.rank = rank
+        self.size = len(self.group)
+        self.stats = CommStats()
+        self._coll_seq = 0
+        self._split_seq = 0
+        if self.group[rank] < 0 or self.group[rank] >= fabric.nranks:
+            raise ValueError("communicator group contains out-of-range fabric rank")
+
+    # -- point to point -----------------------------------------------------
+
+    @property
+    def global_rank(self) -> int:
+        return self.group[self.rank]
+
+    def send(self, dest: int, payload: Any, tag: int = 0) -> None:
+        """Deposit ``payload`` into communicator-rank ``dest``'s mailbox.
+
+        Buffered semantics: the call returns once the (copied) payload is in
+        flight, it never blocks on the receiver.
+        """
+        if not 0 <= tag < _RESERVED_TAG_BASE:
+            raise ValueError(f"user tag {tag} outside [0, {_RESERVED_TAG_BASE})")
+        self._send_raw(dest, _freeze(payload), tag, "p2p")
+
+    def _send_raw(self, dest: int, payload: Any, tag: int, op: str) -> None:
+        self.stats.record(op, payload)
+        self.fabric.deliver(self.global_rank, self.group[dest], tag, payload)
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
+        """Block until a message matching (source, tag) arrives; return its
+        payload.  ``source`` is a communicator rank or ``ANY_SOURCE``."""
+        src_global = ANY_SOURCE if source == ANY_SOURCE else self.group[source]
+        env = self.fabric.collect(self.global_rank, src_global, tag)
+        return env.payload
+
+    def recv_with_status(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> tuple[Any, int, int]:
+        """Like :meth:`recv` but also return ``(payload, source_rank, tag)``."""
+        src_global = ANY_SOURCE if source == ANY_SOURCE else self.group[source]
+        env = self.fabric.collect(self.global_rank, src_global, tag)
+        try:
+            src_local = self.group.index(env.source)
+        except ValueError:  # message from outside the group (shouldn't happen)
+            src_local = -1
+        return env.payload, src_local, env.tag
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        src_global = ANY_SOURCE if source == ANY_SOURCE else self.group[source]
+        return self.fabric.probe(self.global_rank, src_global, tag)
+
+    def sendrecv(self, dest: int, payload: Any, source: int, tag: int = 0) -> Any:
+        """Combined exchange: send to ``dest`` and receive from ``source``.
+
+        Because sends are buffered this cannot deadlock even when both sides
+        call it simultaneously, matching ``MPI_Sendrecv``.
+        """
+        self.send(dest, payload, tag)
+        return self.recv(source, tag)
+
+    # -- collective plumbing --------------------------------------------------
+
+    def _coll_tag(self, seq: int) -> int:
+        # Python ints are unbounded, so packing (comm_id, seq) above the
+        # reserved base gives every collective *instance* its own tag: a
+        # wildcard receive inside one collective can never match a message
+        # belonging to a different collective or communicator.
+        return _RESERVED_TAG_BASE + (self.comm_id << 32) + seq
+
+    def _coll_send(self, dest: int, payload: Any, opname: str, seq: int) -> None:
+        self.stats.record(opname, payload)
+        self.fabric.deliver(
+            self.global_rank,
+            self.group[dest],
+            self._coll_tag(seq),
+            # Copy at send time (wire semantics): receivers own their data.
+            (opname, self.comm_id, seq, _freeze(payload)),
+        )
+
+    def _coll_recv(self, source: int, opname: str, seq: int) -> Any:
+        src_global = self.group[source]
+        env = self.fabric.collect(self.global_rank, src_global, self._coll_tag(seq))
+        got_op, got_comm, got_seq, payload = env.payload
+        if got_op != opname or got_comm != self.comm_id or got_seq != seq:
+            raise CollectiveMismatchError(
+                f"rank {self.rank} (comm {self.comm_id}) in {opname}#{seq} "
+                f"received {got_op}#{got_seq} from rank {source} "
+                f"(comm {got_comm}): ranks entered different collectives"
+            )
+        return payload
+
+    def _next_seq(self) -> int:
+        self._coll_seq += 1
+        return self._coll_seq
+
+    # -- collectives ----------------------------------------------------------
+
+    def barrier(self) -> None:
+        """Dissemination barrier: ⌈log₂p⌉ rounds."""
+        seq = self._next_seq()
+        p, r = self.size, self.rank
+        k = 1
+        while k < p:
+            self._coll_send((r + k) % p, None, "barrier", seq)
+            self._coll_recv((r - k) % p, "barrier", seq)
+            k *= 2
+
+    def bcast(self, payload: Any, root: int = 0) -> Any:
+        """Binomial-tree broadcast from ``root``; returns the payload on all
+        ranks (a private copy on each non-root rank)."""
+        seq = self._next_seq()
+        p = self.size
+        # Rotate so the root is virtual rank 0 (MPICH binomial algorithm).
+        vr = (self.rank - root) % p
+        mask = 1
+        while mask < p:
+            if vr & mask:
+                src = ((vr - mask) + root) % p
+                payload = self._coll_recv(src, "bcast", seq)
+                break
+            mask <<= 1
+        else:
+            payload = _freeze(payload)  # root: keep a private copy
+        # ``mask`` is now the lowest set bit of vr (or >= p at the root);
+        # forward to children at descending offsets below it.
+        mask >>= 1
+        while mask > 0:
+            if vr + mask < p:
+                dst = ((vr + mask) + root) % p
+                self._coll_send(dst, payload, "bcast", seq)
+            mask >>= 1
+        return payload
+
+    def gather(self, payload: Any, root: int = 0) -> list[Any] | None:
+        """Direct gather: every rank sends its payload to ``root``; root
+        returns the list ordered by rank, others return ``None``."""
+        seq = self._next_seq()
+        if self.rank == root:
+            out: list[Any] = [None] * self.size
+            out[root] = _freeze(payload)
+            for _ in range(self.size - 1):
+                env = self.fabric.collect(self.global_rank, ANY_SOURCE, self._coll_tag(seq))
+                got_op, got_comm, got_seq, body = env.payload
+                if got_op != "gather" or got_seq != seq or got_comm != self.comm_id:
+                    raise CollectiveMismatchError(
+                        f"root of gather#{seq} received {got_op}#{got_seq}"
+                    )
+                src_local, item = body
+                out[src_local] = item
+            return out
+        self._coll_send(root, (self.rank, payload), "gather", seq)
+        return None
+
+    def gatherv(self, payload: Any, root: int = 0) -> list[Any] | None:
+        """Alias of :meth:`gather` — variable-size payloads are natural here."""
+        return self.gather(payload, root)
+
+    def scatter(self, payloads: Sequence[Any] | None, root: int = 0) -> Any:
+        """Root distributes ``payloads[i]`` to rank ``i``; returns own piece."""
+        seq = self._next_seq()
+        if self.rank == root:
+            if payloads is None or len(payloads) != self.size:
+                raise ValueError("scatter root must supply one payload per rank")
+            for dst in range(self.size):
+                if dst != root:
+                    self._coll_send(dst, payloads[dst], "scatter", seq)
+            return _freeze(payloads[root])
+        return self._coll_recv(root, "scatter", seq)
+
+    def allgather(self, payload: Any) -> list[Any]:
+        """Ring allgather: p-1 steps, each forwarding the block received in
+        the previous step.  Returns the list of payloads ordered by rank."""
+        seq = self._next_seq()
+        p, r = self.size, self.rank
+        out: list[Any] = [None] * p
+        out[r] = _freeze(payload)
+        if p == 1:
+            return out
+        right = (r + 1) % p
+        left = (r - 1) % p
+        carried = (r, out[r])
+        for _ in range(p - 1):
+            self._coll_send(right, carried, "allgather", seq)
+            carried = self._coll_recv(left, "allgather", seq)
+            src, item = carried
+            out[src] = item
+        return out
+
+    def allgatherv(self, payload: Any) -> list[Any]:
+        """Alias of :meth:`allgather` (payloads may differ in size)."""
+        return self.allgather(payload)
+
+    def alltoall(self, payloads: Sequence[Any]) -> list[Any]:
+        """Personalized all-to-all by pairwise exchange: p-1 sendrecv steps.
+
+        ``payloads[i]`` is destined for rank ``i``; returns the list of
+        payloads received, indexed by source rank.
+        """
+        if len(payloads) != self.size:
+            raise ValueError(
+                f"alltoall needs exactly {self.size} payloads, got {len(payloads)}"
+            )
+        seq = self._next_seq()
+        p, r = self.size, self.rank
+        out: list[Any] = [None] * p
+        out[r] = _freeze(payloads[r])
+        for step in range(1, p):
+            dst = (r + step) % p
+            src = (r - step) % p
+            self._coll_send(dst, payloads[dst], "alltoall", seq)
+            out[src] = self._coll_recv(src, "alltoall", seq)
+        return out
+
+    def alltoallv(self, payloads: Sequence[Any]) -> list[Any]:
+        """Alias of :meth:`alltoall` (variable-size payloads)."""
+        return self.alltoall(payloads)
+
+    def reduce(self, payload: Any, op: ReduceOp = SUM, root: int = 0) -> Any:
+        """Binomial-tree reduction to ``root``; returns the reduced value at
+        root and ``None`` elsewhere."""
+        seq = self._next_seq()
+        p = self.size
+        vr = (self.rank - root) % p
+        acc = _freeze(payload)
+        mask = 1
+        while mask < p:
+            if vr & mask:
+                dst = ((vr & ~mask) + root) % p
+                self._coll_send(dst, acc, "reduce", seq)
+                return None
+            if vr | mask < p:
+                other = self._coll_recv(((vr | mask) + root) % p, "reduce", seq)
+                acc = op(acc, other)
+            mask <<= 1
+        return acc if self.rank == root else None
+
+    def allreduce(self, payload: Any, op: ReduceOp = SUM) -> Any:
+        """Reduce to rank 0 followed by broadcast."""
+        acc = self.reduce(payload, op, root=0)
+        return self.bcast(acc, root=0)
+
+    def exscan(self, payload: Any, op: ReduceOp = SUM) -> Any:
+        """Exclusive prefix reduction along the rank chain.
+
+        Rank 0 receives ``None`` (no predecessor contribution); rank i
+        receives op-fold of payloads from ranks 0..i-1.
+        """
+        seq = self._next_seq()
+        prefix = None
+        if self.rank > 0:
+            prefix = self._coll_recv(self.rank - 1, "exscan", seq)
+        if self.rank + 1 < self.size:
+            mine = _freeze(payload) if prefix is None else op(prefix, payload)
+            self._coll_send(self.rank + 1, mine, "exscan", seq)
+        return prefix
+
+    def scan(self, payload: Any, op: ReduceOp = SUM) -> Any:
+        """Inclusive prefix reduction along the rank chain."""
+        prefix = self.exscan(payload, op)
+        return _freeze(payload) if prefix is None else op(prefix, payload)
+
+    # -- communicator management ----------------------------------------------
+
+    def split(self, color: int, key: int | None = None) -> "Communicator":
+        """Partition this communicator into disjoint sub-communicators.
+
+        All ranks with equal ``color`` land in the same new communicator,
+        ordered by ``(key, old rank)``.  Like ``MPI_Comm_split``, this is a
+        collective over the parent communicator.
+        """
+        self._split_seq += 1
+        key = self.rank if key is None else key
+        new_id, members_parent_ranks = self.fabric.split_rendezvous(
+            self.comm_id, self._split_seq, self.size, self.rank, color, key
+        )
+        group = [self.group[r] for r in members_parent_ranks]
+        my_pos = members_parent_ranks.index(self.rank)
+        return Communicator(self.fabric, new_id, group, my_pos)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Communicator(id={self.comm_id}, rank={self.rank}/{self.size})"

@@ -1,0 +1,42 @@
+"""Error types raised by the simulated message-passing runtime."""
+
+
+class CommError(Exception):
+    """Base class for all runtime communication errors."""
+
+
+class DeadlockError(CommError):
+    """A blocking operation timed out.
+
+    In a correct bulk-synchronous program every ``recv`` is eventually matched
+    by a ``send`` and every collective is entered by all ranks of the
+    communicator.  The simulated runtime cannot prove a deadlock, but a
+    blocking call that makes no progress for ``Fabric.timeout`` seconds is
+    reported as one, with enough context (rank, operation, peer, tag) to
+    debug the SPMD program.
+    """
+
+
+class CollectiveMismatchError(CommError):
+    """Ranks of one communicator entered different collectives.
+
+    Each collective call carries an operation name and a sequence number;
+    if rank 3 calls ``allgatherv`` while rank 0 is in ``alltoallv`` on the
+    same communicator, the mismatch is detected at message-match time instead
+    of silently exchanging garbage.
+    """
+
+
+class WindowError(CommError):
+    """Illegal one-sided access: out-of-range target, bad dtype, or access
+    outside an epoch."""
+
+
+class CommAbort(CommError):
+    """Raised inside surviving ranks after another rank died.
+
+    When any rank's SPMD function raises, the executor flips the fabric's
+    abort flag; ranks blocked in communication calls observe the flag and
+    unwind with this exception so the whole job terminates promptly instead
+    of deadlocking on the dead peer.
+    """

@@ -1,0 +1,159 @@
+"""SPMD job launcher for the simulated runtime.
+
+``spmd(nranks, fn, *args)`` plays the role of ``mpiexec -n nranks``: it
+creates a fabric, starts one thread per rank, runs ``fn(comm, *args)`` on
+each, and collects per-rank return values.  If any rank raises, the fabric is
+aborted so peers blocked in communication unwind promptly, and the first
+failure is re-raised in the caller with its originating rank attached.
+
+Threads (not processes) are deliberate: NumPy kernels release the GIL, the
+mailbox fabric gives message-passing isolation at the API level, and tests
+can run hundreds of small jobs per second.  Nothing in ``repro.distmat`` or
+``repro.matching.mcm_dist`` touches state outside its rank's own arrays plus
+the explicit ``Communicator``/``Window`` calls, so the same code would run
+unchanged over mpi4py.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .comm import Communicator, CommStats
+from .errors import CollectiveMismatchError, CommAbort
+from .fabric import Fabric
+
+
+@dataclass
+class SpmdResult:
+    """Outcome of one SPMD job: per-rank return values and comm statistics."""
+
+    values: list[Any]
+    stats: list[CommStats]
+    nranks: int = 0
+
+    def __post_init__(self) -> None:
+        self.nranks = len(self.values)
+
+    def __iter__(self):
+        return iter(self.values)
+
+    def __getitem__(self, rank: int) -> Any:
+        return self.values[rank]
+
+    @property
+    def total_messages(self) -> int:
+        return sum(s.messages_sent for s in self.stats)
+
+    @property
+    def total_words(self) -> int:
+        return sum(s.words_sent for s in self.stats)
+
+
+@dataclass
+class _RankOutcome:
+    value: Any = None
+    error: BaseException | None = None
+    finished: bool = False
+
+
+@dataclass
+class _Job:
+    fabric: Fabric
+    outcomes: list[_RankOutcome] = field(default_factory=list)
+
+
+def spmd(
+    nranks: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    timeout: float = 60.0,
+    **kwargs: Any,
+) -> SpmdResult:
+    """Run ``fn(comm, *args, **kwargs)`` on ``nranks`` simulated ranks.
+
+    Parameters
+    ----------
+    nranks:
+        Number of simulated MPI ranks (threads).
+    fn:
+        The SPMD program.  Its first argument is this rank's
+        :class:`~repro.runtime.comm.Communicator`.
+    timeout:
+        Deadlock-detection window in seconds for blocking calls.
+
+    Returns
+    -------
+    SpmdResult
+        ``result[r]`` is rank r's return value; ``result.stats[r]`` its
+        communication counters.
+
+    Raises
+    ------
+    The first per-rank exception, re-raised with rank context via
+    exception chaining.  Secondary :class:`CommAbort` errors in other
+    ranks (caused by the abort) are suppressed.
+    """
+    fabric = Fabric(nranks, timeout=timeout)
+    comms = [Communicator(fabric, comm_id=0, group=range(nranks), rank=r) for r in range(nranks)]
+    outcomes = [_RankOutcome() for _ in range(nranks)]
+
+    def runner(rank: int) -> None:
+        try:
+            outcomes[rank].value = fn(comms[rank], *args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - must capture to re-raise in caller
+            outcomes[rank].error = exc
+            fabric.abort()
+        finally:
+            outcomes[rank].finished = True
+
+    threads = [
+        threading.Thread(target=runner, args=(r,), name=f"spmd-rank-{r}", daemon=True)
+        for r in range(nranks)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        # Generous join timeout: the fabric's own deadlock detector fires
+        # first in any stuck configuration; this is a final backstop.
+        t.join(timeout=timeout * 4)
+        if t.is_alive():
+            fabric.abort()
+    for t in threads:
+        t.join(timeout=5.0)
+
+    primary: tuple[int, BaseException] | None = None
+    for r, oc in enumerate(outcomes):
+        if oc.error is not None and not isinstance(oc.error, CommAbort):
+            if primary is None:
+                primary = (r, oc.error)
+    if primary is None:
+        # Only CommAborts (or a hung thread) — surface whichever exists.
+        for r, oc in enumerate(outcomes):
+            if oc.error is not None:
+                primary = (r, oc.error)
+                break
+        else:
+            for r, oc in enumerate(outcomes):
+                if not oc.finished:
+                    raise TimeoutError(f"spmd rank {r} failed to terminate")
+    if primary is not None:
+        rank, err = primary
+        raise type(err)(f"[spmd rank {rank}] {err}") from err
+
+    # A clean job must fully drain its collective traffic.  Leftovers mean
+    # some ranks entered collectives that others skipped — a silent
+    # mismatch that happened not to block (e.g. bcast vs reduce at p=2).
+    for r, mb in enumerate(fabric.mailboxes):
+        stray = mb.pending_collective()
+        if stray:
+            raise CollectiveMismatchError(
+                f"rank {r} finished with {len(stray)} undrained collective "
+                f"message(s) {stray[:4]}: ranks entered mismatched collectives"
+            )
+
+    return SpmdResult(
+        values=[oc.value for oc in outcomes],
+        stats=[c.stats for c in comms],
+    )

@@ -1,0 +1,247 @@
+"""The interconnect fabric: per-rank mailboxes with (source, tag) matching.
+
+A :class:`Fabric` is the shared state connecting the simulated ranks of one
+SPMD job.  Each rank owns a mailbox; a ``send`` deposits an immutable message
+envelope into the destination's mailbox and a ``recv`` blocks until an
+envelope matching its ``(source, tag)`` selector is present.  Matching
+follows MPI ordering semantics: messages from the same (source, tag) pair are
+non-overtaking (delivered in send order), while messages from different
+sources may interleave arbitrarily.
+
+The fabric also carries job-global services used by the executor and the
+communicators:
+
+* an *abort flag* — set when any rank dies, observed by every blocked call;
+* a *timeout* — blocking calls that see no progress for this many seconds
+  raise :class:`~repro.runtime.errors.DeadlockError`;
+* a registry of *sub-communicator* colors created by ``Communicator.split``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+from .errors import CommAbort, DeadlockError
+
+#: Wildcard selector accepted by ``recv``: match a message from any source.
+ANY_SOURCE = -1
+#: Wildcard selector accepted by ``recv``: match a message with any tag.
+ANY_TAG = -1
+
+#: Tags at or above this value are reserved for collective operations.
+_RESERVED_TAG_BASE = 1 << 30
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """An in-flight message: immutable header plus an opaque payload.
+
+    The payload is whatever object the sender passed.  For NumPy arrays the
+    communicator copies at send time so the receiver can never observe
+    mutations the sender performs after the send returns — the same guarantee
+    a real interconnect gives by serializing bytes onto the wire.
+    """
+
+    source: int
+    dest: int
+    tag: int
+    payload: Any
+    serial: int  # fabric-global send order, for deterministic debugging
+
+
+class Mailbox:
+    """One rank's receive queue with condition-variable blocking."""
+
+    def __init__(self, fabric: "Fabric", owner: int) -> None:
+        self._fabric = fabric
+        self._owner = owner
+        self._queue: list[Envelope] = []
+        self._cond = threading.Condition()
+
+    def deposit(self, env: Envelope) -> None:
+        with self._cond:
+            self._queue.append(env)
+            self._cond.notify_all()
+
+    def _match_index(self, source: int, tag: int) -> int | None:
+        for i, env in enumerate(self._queue):
+            if source not in (ANY_SOURCE, env.source):
+                continue
+            if tag not in (ANY_TAG, env.tag):
+                continue
+            return i
+        return None
+
+    def collect(self, source: int, tag: int) -> Envelope:
+        """Block until an envelope matching (source, tag) arrives; remove and
+        return it."""
+        deadline_step = self._fabric.timeout
+        with self._cond:
+            while True:
+                if self._fabric.aborted:
+                    raise CommAbort(
+                        f"rank {self._owner}: job aborted while receiving "
+                        f"(source={source}, tag={tag})"
+                    )
+                idx = self._match_index(source, tag)
+                if idx is not None:
+                    return self._queue.pop(idx)
+                made_progress = self._cond.wait(timeout=deadline_step)
+                if not made_progress and self._match_index(source, tag) is None:
+                    if self._fabric.aborted:
+                        continue  # loop once more to raise CommAbort
+                    raise DeadlockError(
+                        f"rank {self._owner}: recv(source={source}, tag={tag}) "
+                        f"made no progress for {self._fabric.timeout:.1f}s; "
+                        f"pending queue: "
+                        f"{[(e.source, e.tag) for e in self._queue[:8]]}"
+                    )
+
+    def probe(self, source: int, tag: int) -> bool:
+        """Non-blocking: is a matching envelope already queued?"""
+        with self._cond:
+            return self._match_index(source, tag) is not None
+
+    def pending(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+    def pending_collective(self) -> list[tuple[int, int]]:
+        """(source, tag) of queued envelopes in the reserved collective tag
+        space — nonempty after job end means ranks entered mismatched
+        collectives that happened to complete without blocking."""
+        with self._cond:
+            return [
+                (e.source, e.tag) for e in self._queue if e.tag >= _RESERVED_TAG_BASE
+            ]
+
+    def wake_all(self) -> None:
+        """Wake blocked receivers (used when the abort flag flips)."""
+        with self._cond:
+            self._cond.notify_all()
+
+
+@dataclass
+class _SplitTable:
+    """Rendezvous state for one ``Communicator.split`` call."""
+
+    entries: dict[int, tuple[int, int]] = field(default_factory=dict)  # rank -> (color, key)
+    arrived: int = 0
+    done: bool = False
+    result: dict[int, tuple[int, list[int]]] = field(default_factory=dict)
+
+
+class Fabric:
+    """Shared interconnect for one SPMD job of ``nranks`` simulated ranks."""
+
+    def __init__(self, nranks: int, timeout: float = 60.0) -> None:
+        if nranks < 1:
+            raise ValueError(f"nranks must be >= 1, got {nranks}")
+        self.nranks = nranks
+        self.timeout = timeout
+        self.mailboxes = [Mailbox(self, r) for r in range(nranks)]
+        self._abort = threading.Event()
+        self._serial = itertools.count()
+        self._serial_lock = threading.Lock()
+        # split() rendezvous, keyed by (communicator id, split sequence number)
+        self._splits: dict[tuple[int, int], _SplitTable] = {}
+        self._split_lock = threading.Condition()
+        # window registry: window id -> list of per-rank backing arrays
+        self._windows: dict[int, list[Any]] = {}
+        self._window_lock = threading.Lock()
+        self._next_comm_id = itertools.count(1)
+
+    # -- message transport -------------------------------------------------
+
+    @property
+    def aborted(self) -> bool:
+        return self._abort.is_set()
+
+    def abort(self) -> None:
+        """Flip the abort flag and wake every blocked receiver."""
+        self._abort.set()
+        for mb in self.mailboxes:
+            mb.wake_all()
+        with self._split_lock:
+            self._split_lock.notify_all()
+
+    def deliver(self, source: int, dest: int, tag: int, payload: Any) -> None:
+        if self.aborted:
+            raise CommAbort(f"rank {source}: job aborted while sending to {dest}")
+        if not 0 <= dest < self.nranks:
+            raise ValueError(f"destination rank {dest} out of range [0, {self.nranks})")
+        with self._serial_lock:
+            serial = next(self._serial)
+        self.mailboxes[dest].deposit(Envelope(source, dest, tag, payload, serial))
+
+    def collect(self, rank: int, source: int, tag: int) -> Envelope:
+        return self.mailboxes[rank].collect(source, tag)
+
+    def probe(self, rank: int, source: int, tag: int) -> bool:
+        return self.mailboxes[rank].probe(source, tag)
+
+    # -- communicator id allocation ----------------------------------------
+
+    def new_comm_id(self) -> int:
+        return next(self._next_comm_id)
+
+    # -- split rendezvous ----------------------------------------------------
+
+    def split_rendezvous(
+        self,
+        comm_id: int,
+        seq: int,
+        nmembers: int,
+        rank: int,
+        color: int,
+        key: int,
+    ) -> tuple[int, list[int]]:
+        """All ranks of a communicator meet here to compute split groups.
+
+        Returns ``(new_comm_id_for_color, ordered global member ranks)``.
+        The computation is done once by the last rank to arrive; everyone
+        else blocks on the condition variable.
+        """
+        slot = (comm_id, seq)
+        with self._split_lock:
+            table = self._splits.setdefault(slot, _SplitTable())
+            table.entries[rank] = (color, key)
+            table.arrived += 1
+            if table.arrived == nmembers:
+                colors: dict[int, list[tuple[int, int, int]]] = {}
+                for r, (c, k) in table.entries.items():
+                    colors.setdefault(c, []).append((k, r, r))
+                for c, members in colors.items():
+                    members.sort()
+                    ranks = [r for (_, _, r) in members]
+                    table.result[c] = (self.new_comm_id(), ranks)
+                table.done = True
+                self._split_lock.notify_all()
+            else:
+                while not table.done:
+                    if self.aborted:
+                        raise CommAbort(f"rank {rank}: abort during split")
+                    if not self._split_lock.wait(timeout=self.timeout):
+                        if table.done:
+                            break
+                        raise DeadlockError(
+                            f"rank {rank}: split on comm {comm_id} seq {seq} "
+                            f"stalled with {table.arrived}/{nmembers} ranks"
+                        )
+            new_id, ranks = table.result[color]
+            return new_id, list(ranks)
+
+    # -- window registry -----------------------------------------------------
+
+    def register_window(self, win_id: int, nranks: int) -> list[Any]:
+        with self._window_lock:
+            if win_id not in self._windows:
+                self._windows[win_id] = [None] * nranks
+            return self._windows[win_id]
+
+    def drop_window(self, win_id: int) -> None:
+        with self._window_lock:
+            self._windows.pop(win_id, None)

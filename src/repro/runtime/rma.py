@@ -1,0 +1,190 @@
+"""One-sided Remote Memory Access windows.
+
+The paper's path-parallel augmentation (Algorithm 4) updates the distributed
+``mate`` vectors with ``MPI_Get`` / ``MPI_Put`` / ``MPI_Fetch_and_op``: each
+process walks its own k/p augmenting paths asynchronously, reading and
+writing vector elements owned by remote processes without the owner's
+participation.  :class:`Window` reproduces those semantics: the window is
+created collectively (every rank exposes a NumPy array), after which any rank
+may ``get``/``put``/``accumulate``/``fetch_and_op`` on any other rank's
+exposed memory.
+
+Atomicity: MPI guarantees element-wise atomicity for ``MPI_Fetch_and_op`` and
+``MPI_Accumulate``.  Here a per-target-rank lock provides it (stronger than
+required, never weaker).  Plain ``get``/``put`` take the same lock, which
+corresponds to running every access inside its own
+``MPI_Win_lock``/``unlock`` passive-target epoch — the mode Algorithm 4 needs.
+
+Consistency with the paper's cost model: every ``get``, ``put`` and
+``fetch_and_op`` counts as one RMA operation of cost (α + β·words); the
+fused fetch-and-op that merges Algorithm 4's lines 5–6 is why its per-step
+cost is 3(α + β) rather than 4(α + β).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any
+
+import numpy as np
+
+from .comm import Communicator
+from .errors import WindowError
+
+_window_ids = itertools.count(1)
+_window_id_lock = threading.Lock()
+
+
+class Window:
+    """A collectively-created one-sided access window.
+
+    Parameters
+    ----------
+    comm:
+        Communicator over which the window is created (collective call).
+    local:
+        This rank's exposed memory, a 1-D NumPy array.  The window aliases
+        it: remote ``put``s become visible to the owner through the original
+        array, as with ``MPI_Win_create`` on user memory.
+    """
+
+    def __init__(self, comm: Communicator, local: np.ndarray) -> None:
+        if not isinstance(local, np.ndarray) or local.ndim != 1:
+            raise WindowError("window memory must be a 1-D numpy array")
+        self.comm = comm
+        self.local = local
+        # Rank 0 allocates the id and shares it so all ranks attach to the
+        # same fabric-level registry slot.
+        if comm.rank == 0:
+            with _window_id_lock:
+                win_id = next(_window_ids)
+        else:
+            win_id = None
+        self.win_id = comm.bcast(win_id, root=0)
+        self._slots = comm.fabric.register_window(self.win_id, comm.size)
+        self._slots[comm.rank] = local
+        if comm.rank == 0 and len(self._locks_registry()) == 0:
+            pass  # locks created lazily below
+        self._locks = self._locks_registry()
+        comm.barrier()  # window is usable only after all ranks attached
+        self.rma_ops = 0
+        self.rma_words = 0
+        self._epoch_open = True  # passive-target: always accessible
+
+    # A per-window, per-target lock list shared by all rank-local Window
+    # objects of the same window id.  Stored on the fabric slot list's
+    # side-table to avoid a second rendezvous.
+    _locks_tables: dict[int, list[threading.Lock]] = {}
+    _locks_tables_guard = threading.Lock()
+
+    def _locks_registry(self) -> list[threading.Lock]:
+        with Window._locks_tables_guard:
+            table = Window._locks_tables.get(self.win_id)
+            if table is None:
+                table = [threading.Lock() for _ in range(self.comm.size)]
+                Window._locks_tables[self.win_id] = table
+            return table
+
+    # -- access epoch management ---------------------------------------------
+
+    def fence(self) -> None:
+        """Collective synchronization separating access epochs
+        (``MPI_Win_fence``).  A barrier suffices under our always-consistent
+        shared-memory emulation."""
+        self.comm.barrier()
+
+    def free(self) -> None:
+        """Collectively release the window (``MPI_Win_free``)."""
+        self.comm.barrier()
+        self._epoch_open = False
+        if self.comm.rank == 0:
+            self.comm.fabric.drop_window(self.win_id)
+            with Window._locks_tables_guard:
+                Window._locks_tables.pop(self.win_id, None)
+        self.comm.barrier()
+
+    # -- one-sided operations --------------------------------------------------
+
+    def _target_array(self, target: int) -> np.ndarray:
+        if not self._epoch_open:
+            raise WindowError("access after Window.free()")
+        if not 0 <= target < self.comm.size:
+            raise WindowError(f"target rank {target} out of range [0, {self.comm.size})")
+        arr = self._slots[target]
+        if arr is None:
+            raise WindowError(f"target rank {target} never attached its memory")
+        return arr
+
+    def _check_index(self, arr: np.ndarray, index: Any, span: int = 1) -> None:
+        idx = np.asarray(index)
+        if idx.size and (int(idx.min()) < 0 or int(idx.max()) + span - 1 >= arr.size):
+            raise WindowError(
+                f"window access out of range: indices in [{idx.min()}, {idx.max()}]"
+                f" with span {span}, window size {arr.size}"
+            )
+
+    def _charge(self, index: Any) -> None:
+        self.rma_ops += 1
+        self.rma_words += int(np.asarray(index).size)
+
+    def get(self, target: int, index: Any) -> Any:
+        """Read element(s) at ``index`` from ``target``'s window memory.
+
+        ``index`` may be a scalar or an integer array (vectorized get);
+        returns a scalar or array copy accordingly.
+        """
+        arr = self._target_array(target)
+        self._check_index(arr, index)
+        self._charge(index)
+        with self._locks[target]:
+            out = arr[index]
+        return out.copy() if isinstance(out, np.ndarray) else out
+
+    def put(self, target: int, index: Any, value: Any) -> None:
+        """Write ``value`` at ``index`` into ``target``'s window memory."""
+        arr = self._target_array(target)
+        self._check_index(arr, index)
+        self._charge(index)
+        with self._locks[target]:
+            arr[index] = value
+
+    def accumulate(self, target: int, index: Any, value: Any, op=np.add) -> None:
+        """Atomic read-modify-write without returning the old value
+        (``MPI_Accumulate``).  ``op`` is any binary NumPy ufunc with an
+        ``.at`` unbuffered variant (``np.add``, ``np.minimum``, ...)."""
+        arr = self._target_array(target)
+        self._check_index(arr, index)
+        self._charge(index)
+        with self._locks[target]:
+            op.at(arr, index, value)
+
+    def fetch_and_op(self, target: int, index: int, value: Any, op=None) -> Any:
+        """Atomically read the old value and combine in the new one
+        (``MPI_Fetch_and_op``).
+
+        ``op=None`` means REPLACE (the variant Algorithm 4 uses to read the
+        old mate while installing the new one).  Otherwise ``op(old, value)``
+        is stored.
+        """
+        arr = self._target_array(target)
+        self._check_index(arr, int(index))
+        self._charge(index)
+        with self._locks[target]:
+            old = arr[index]
+            old = old.copy() if isinstance(old, np.ndarray) else old
+            arr[index] = value if op is None else op(old, value)
+        return old
+
+    def compare_and_swap(self, target: int, index: int, expected: Any, desired: Any) -> Any:
+        """Atomic compare-and-swap (``MPI_Compare_and_swap``): install
+        ``desired`` iff the current value equals ``expected``; return the
+        value observed before the operation."""
+        arr = self._target_array(target)
+        self._check_index(arr, int(index))
+        self._charge(index)
+        with self._locks[target]:
+            old = arr[index]
+            if old == expected:
+                arr[index] = desired
+        return old

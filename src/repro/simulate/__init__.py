@@ -1,0 +1,42 @@
+"""Execution-driven performance simulation.
+
+The paper's evaluation (Figs. 3–9) measures MCM-DIST on up to 12,288 Cray
+XC30 cores.  This package regenerates those studies without the machine:
+
+1. :func:`~repro.simulate.costsim.record` runs the *real* matrix-algebra
+   algorithm (initializer + Algorithm 2) once on the input graph, capturing
+   a :class:`~repro.simulate.costsim.Trace` of every superstep's measured
+   quantities — frontier entries, edges touched, candidate destinations,
+   INVERT/PRUNE volumes, per-path augmentation walk lengths;
+2. :func:`~repro.simulate.costsim.price` replays the trace against the α-β
+   machine model for any (cores, threads) configuration: per superstep it
+   histograms the touched data onto the would-be √P×√P process grid, takes
+   the busiest rank's work, prices the collective with the exact formulas of
+   :mod:`repro.perfmodel.collectives`, and advances a BSP clock.
+
+Because the algorithm's execution (with a deterministic semiring) is
+independent of the process count, ONE recording prices at EVERY core count
+— that is what makes 24 → 12,288-core sweeps feasible in pure Python.
+Model times are not wall-clock times; their *shape* over core counts is the
+reproduction target.
+
+:mod:`~repro.simulate.gather_model` prices Fig. 9's gather-to-single-node
+baseline; :mod:`~repro.simulate.report` formats speedup tables and runtime
+breakdowns like the paper's figures.
+"""
+
+from .costsim import SimResult, Trace, price, record, scaled_machine, simulate_mcm, sweep
+from .gather_model import gather_scatter_time
+from . import report
+
+__all__ = [
+    "SimResult",
+    "Trace",
+    "gather_scatter_time",
+    "price",
+    "record",
+    "scaled_machine",
+    "report",
+    "simulate_mcm",
+    "sweep",
+]

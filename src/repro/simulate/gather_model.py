@@ -1,0 +1,68 @@
+"""Fig. 9's baseline: collecting a distributed graph on one node.
+
+Section VI-E argues that running a shared-memory matcher on an
+already-distributed graph requires (a) gathering all edges onto one rank,
+(b) building local data structures there, and (c) scattering the two mate
+vectors back — and that this alone can cost more than running MCM-DIST
+distributed (≈20 s for the 900 M-nonzero nlpkkt200 at 2048 cores).
+
+The model prices the paper's toy experiment: P MPI processes each hold m/P
+edges of a hypothetical graph; rank 0 gathers them (direct gather: the root
+serializes the incoming volume through its NIC), preprocesses (one pass over
+the edges to build CSR, multithreaded within the node), and scatters 2n mate
+words back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..perfmodel import EDISON, MachineSpec, collectives as C
+
+#: Bytes per edge assumed by the paper's memory estimate ("20 bytes per edge").
+BYTES_PER_EDGE = 20
+
+#: Effective root ingestion rate in 8-byte words/second.  A gather funnels
+#: every byte through ONE node's NIC and memory system while the root also
+#: unpacks: the paper's ≈20 s for a 900 M-edge graph implies ≈1.2 GB/s
+#: effective, far below the interconnect's point-to-point bandwidth.
+ROOT_INGEST_WORDS_PER_S = 1.5e8
+
+
+@dataclass(frozen=True)
+class GatherScatterCost:
+    """Component times (model seconds) of the gather-to-one-node workflow."""
+
+    gather: float
+    preprocess: float
+    scatter: float
+
+    @property
+    def total(self) -> float:
+        return self.gather + self.preprocess + self.scatter
+
+
+def gather_scatter_time(
+    nnz: int,
+    n: int,
+    cores: int = 2048,
+    threads: int = 1,
+    machine: MachineSpec = EDISON,
+) -> GatherScatterCost:
+    """Model time to gather an ``nnz``-edge graph (n row + n column
+    vertices) onto rank 0 and scatter the mate vectors back.
+
+    Matches the paper's Fig. 9 setup: ``cores`` MPI processes (flat MPI in
+    the toy), each with an equal share of the edges.
+    """
+    nprocs = max(1, cores // threads)
+    alpha, _beta = machine.comm_params(nprocs, threads)
+    edge_words = nnz * BYTES_PER_EDGE / 8.0
+    # every byte funnels through the root: latency of P-1 receives plus the
+    # root's effective ingestion bandwidth (NIC + unpack), not the network's
+    gather = alpha * (nprocs - 1) + edge_words / ROOT_INGEST_WORDS_PER_S
+    # root-side preprocessing: two serial passes over the edges to build the
+    # CSR the shared-memory matcher needs
+    preprocess = machine.compute_time(2 * nnz, threads=1)
+    scatter = alpha * (nprocs - 1) + 2.0 * n / ROOT_INGEST_WORDS_PER_S
+    return GatherScatterCost(gather=gather, preprocess=preprocess, scatter=scatter)

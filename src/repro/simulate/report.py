@@ -1,0 +1,79 @@
+"""Formatting helpers: the tables the benches print, shaped like the paper's
+figures, plus CSV emission for downstream plotting."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..perfmodel import Category
+from .costsim import SimResult
+
+
+def speedup_table(results: Sequence[SimResult], label: str = "") -> str:
+    """Fig. 4/6-style table: cores, model seconds, speedup vs the first row."""
+    if not results:
+        return "(no results)"
+    base = results[0].seconds
+    lines = [f"# strong scaling {label}".rstrip(),
+             f"{'cores':>8} {'grid':>12} {'time(s)':>12} {'speedup':>9}"]
+    for r in results:
+        grid = f"{r.grid.pr}x{r.grid.pc}x{r.threads}t"
+        lines.append(
+            f"{r.cores:>8} {grid:>12} {r.seconds:>12.4g} {base / r.seconds:>9.2f}"
+        )
+    return "\n".join(lines)
+
+
+BREAKDOWN_CATS = [Category.SPMV, Category.INVERT, Category.SELECT_SET,
+                  Category.PRUNE, Category.AUGMENT, Category.INIT, Category.OTHER]
+
+
+def breakdown_table(results: Sequence[SimResult], label: str = "") -> str:
+    """Fig. 5-style table: per-kernel share of total time at each core count."""
+    header = f"{'cores':>8} " + " ".join(f"{c.value:>11}" for c in BREAKDOWN_CATS) + f" {'total(s)':>10}"
+    lines = [f"# runtime breakdown {label}".rstrip(), header]
+    for r in results:
+        shares = " ".join(f"{r.breakdown.fraction(c):>10.1%}" for c in BREAKDOWN_CATS)
+        lines.append(f"{r.cores:>8} {shares} {r.seconds:>10.4g}")
+    return "\n".join(lines)
+
+
+def write_csv(path: "str | Path", rows: Iterable[dict], fieldnames: Sequence[str]) -> Path:
+    """Write experiment rows as CSV next to the bench outputs."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=list(fieldnames))
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return path
+
+
+def results_to_rows(name: str, results: Sequence[SimResult]) -> list[dict]:
+    """Flatten SimResults for CSV emission."""
+    if not results:
+        return []
+    base = results[0].seconds
+    rows = []
+    for r in results:
+        row = {
+            "matrix": name,
+            "cores": r.cores,
+            "threads": r.threads,
+            "nprocs": r.nprocs,
+            "seconds": r.seconds,
+            "speedup": base / r.seconds,
+            "cardinality": r.cardinality,
+        }
+        for c in BREAKDOWN_CATS:
+            row[f"t_{c.value}"] = r.breakdown.seconds(c)
+        rows.append(row)
+    return rows
+
+
+CSV_FIELDS = ["matrix", "cores", "threads", "nprocs", "seconds", "speedup", "cardinality"] + [
+    f"t_{c.value}" for c in BREAKDOWN_CATS
+]

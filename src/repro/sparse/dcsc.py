@@ -1,0 +1,166 @@
+"""Doubly compressed sparse columns — CombBLAS's hypersparse block format.
+
+On a √p×√p grid each rank stores an (n₁/√p) × (n₂/√p) block holding only
+~m/p nonzeros.  At scale, m/p ≪ n₂/√p: most columns of the block are empty,
+and CSC's dense column-pointer array would cost O(n₂/√p) memory per rank —
+asymptotically more than the data.  DCSC (Buluç & Gilbert) fixes this by
+storing pointers only for the ``nzc`` non-empty columns:
+
+* ``jc``  (len nzc)   — sorted ids of non-empty columns;
+* ``cp``  (len nzc+1) — column pointers into ``ir``;
+* ``ir``  (len nnz)   — row indices, sorted within each column.
+
+Total memory O(nnz + nzc), independent of the block's column dimension.
+The SpMV kernel intersects the incoming frontier with ``jc`` by binary
+search (O(f log nzc)) and then reuses the same ragged-gather as CSC.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .coo import COO
+from .csc import ragged_gather
+from .semiring import SR_MIN_PARENT, Semiring, reduce_candidates
+from .spvec import VertexFrontier
+
+
+class DCSC:
+    """Hypersparse pattern matrix block."""
+
+    __slots__ = ("nrows", "ncols", "jc", "cp", "ir")
+
+    def __init__(self, nrows: int, ncols: int, jc: np.ndarray, cp: np.ndarray, ir: np.ndarray) -> None:
+        self.nrows = int(nrows)
+        self.ncols = int(ncols)
+        self.jc = np.ascontiguousarray(jc, dtype=np.int64)
+        self.cp = np.ascontiguousarray(cp, dtype=np.int64)
+        self.ir = np.ascontiguousarray(ir, dtype=np.int64)
+        if self.cp.size != self.jc.size + 1:
+            raise ValueError("cp must have len(jc)+1 entries")
+        if self.jc.size:
+            if np.any(self.jc[1:] <= self.jc[:-1]):
+                raise ValueError("jc must be strictly increasing")
+            if self.jc[0] < 0 or self.jc[-1] >= self.ncols:
+                raise ValueError("jc column id out of range")
+            if np.any(np.diff(self.cp) <= 0):
+                raise ValueError("every jc column must be non-empty")
+        if self.cp.size and (self.cp[0] != 0 or self.cp[-1] != self.ir.size):
+            raise ValueError("cp must start at 0 and end at nnz")
+        if self.ir.size and (self.ir.min() < 0 or self.ir.max() >= self.nrows):
+            raise ValueError("row index out of range")
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def from_coo(cls, coo: COO) -> "DCSC":
+        if coo.nnz == 0:
+            z = np.empty(0, np.int64)
+            return cls(coo.nrows, coo.ncols, z, np.zeros(1, np.int64), z.copy())
+        order = np.lexsort((coo.rows, coo.cols))
+        rows = coo.rows[order]
+        cols = coo.cols[order]
+        jc, counts = np.unique(cols, return_counts=True)
+        cp = np.zeros(jc.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=cp[1:])
+        return cls(coo.nrows, coo.ncols, jc, cp, rows)
+
+    def to_coo(self) -> COO:
+        cols = np.repeat(self.jc, np.diff(self.cp))
+        return COO(self.nrows, self.ncols, self.ir.copy(), cols, dedup=False)
+
+    # -- properties ---------------------------------------------------------------
+
+    @property
+    def nnz(self) -> int:
+        return int(self.ir.size)
+
+    @property
+    def nzc(self) -> int:
+        """Number of non-empty columns."""
+        return int(self.jc.size)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.nrows, self.ncols)
+
+    def memory_words(self) -> int:
+        """Storage in 8-byte words — O(nnz + nzc), never O(ncols)."""
+        return self.jc.size + self.cp.size + self.ir.size
+
+    def col_degrees_compressed(self) -> tuple[np.ndarray, np.ndarray]:
+        """(non-empty column ids, their degrees)."""
+        return self.jc, np.diff(self.cp)
+
+    def row_degrees(self) -> np.ndarray:
+        return np.bincount(self.ir, minlength=self.nrows).astype(np.int64)
+
+    # -- kernels ---------------------------------------------------------------
+
+    def _locate(self, cols: np.ndarray) -> np.ndarray:
+        """Positions of ``cols`` in ``jc``; -1 where the column is empty."""
+        pos = np.searchsorted(self.jc, cols)
+        pos_clamped = np.minimum(pos, max(0, self.jc.size - 1))
+        hit = (pos < self.jc.size) & (self.jc[pos_clamped] == cols) if self.jc.size else np.zeros(cols.size, bool)
+        out = np.where(hit, pos, -1)
+        return out
+
+    def explode_cols(
+        self, cols: np.ndarray, parents: np.ndarray, roots: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Raw-array variant of :meth:`explode_frontier` for the distributed
+        layer: ``cols`` are LOCAL column ids (any order), ``parents``/``roots``
+        parallel value arrays carried to every emitted candidate row."""
+        if cols.size == 0 or self.nzc == 0:
+            e = np.empty(0, np.int64)
+            return e, e.copy(), e.copy()
+        loc = self._locate(np.asarray(cols, np.int64))
+        hit = loc >= 0
+        if not hit.any():
+            e = np.empty(0, np.int64)
+            return e, e.copy(), e.copy()
+        rows, counts = ragged_gather(self.cp, self.ir, loc[hit])
+        return rows, np.repeat(np.asarray(parents, np.int64)[hit], counts), np.repeat(
+            np.asarray(roots, np.int64)[hit], counts
+        )
+
+    def explode_frontier(self, fc: VertexFrontier) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Candidate (row, parent, root) triples for the frontier columns
+        present in this block.  Parents are the frontier column ids (global
+        select2nd semantics), roots inherited."""
+        if fc.nnz == 0 or self.nzc == 0:
+            e = np.empty(0, np.int64)
+            return e, e.copy(), e.copy()
+        loc = self._locate(fc.idx)
+        hit = loc >= 0
+        if not hit.any():
+            e = np.empty(0, np.int64)
+            return e, e.copy(), e.copy()
+        loc_hit = loc[hit]
+        rows, counts = ragged_gather(self.cp, self.ir, loc_hit)
+        parents = np.repeat(fc.idx[hit], counts)
+        roots = np.repeat(fc.root[hit], counts)
+        return rows, parents, roots
+
+    def spmv_frontier(
+        self,
+        fc: VertexFrontier,
+        semiring: Semiring = SR_MIN_PARENT,
+        rng: np.random.Generator | None = None,
+    ) -> VertexFrontier:
+        """Local semiring SpMV: same contract as :meth:`CSC.spmv_frontier`,
+        restricted to this block's columns/rows."""
+        rows, parents, roots = self.explode_frontier(fc)
+        ridx, rpar, rroot = reduce_candidates(rows, parents, roots, semiring, rng)
+        return VertexFrontier(self.nrows, ridx, rpar, rroot)
+
+    def spmv_count(self, fc: VertexFrontier) -> int:
+        """Edge operations a local SpMV with this frontier performs."""
+        if fc.nnz == 0 or self.nzc == 0:
+            return 0
+        loc = self._locate(fc.idx)
+        loc = loc[loc >= 0]
+        return int((self.cp[loc + 1] - self.cp[loc]).sum())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DCSC({self.nrows}x{self.ncols}, nnz={self.nnz}, nzc={self.nzc})"

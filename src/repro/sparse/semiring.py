@@ -1,0 +1,97 @@
+"""BFS semirings: ``(select2nd, ⊕)`` with pluggable "addition".
+
+Section III-B: the SpMV that advances a BFS frontier runs over a semiring
+whose *multiply* is ``select2nd`` — ``select2nd(a_ij, x_j)`` ignores the
+binary matrix element and passes the frontier value ``x_j = (parent, root)``
+through — and whose *add* picks ONE candidate among the several frontier
+columns adjacent to the same row:
+
+* ``minParent`` — keep the candidate with the smallest parent index
+  (deterministic; the paper's running example);
+* ``maxParent`` — largest parent (deterministic alternative);
+* ``randParent`` — uniformly random candidate;
+* ``minRoot`` / ``randRoot`` — decide by root instead of parent;
+  randRoot "is useful to randomly distribute vertices among alternating
+  trees, ensuring better balance of tree sizes".
+
+:func:`reduce_candidates` is the shared reduction kernel: given the exploded
+candidate triples ``(row, parent, root)`` it returns one winner per distinct
+row, rows sorted ascending.  Vectorized via lexsort — O(c log c) for c
+candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """A named BFS semiring: select2nd multiply + a candidate tie-break.
+
+    ``by`` chooses the field compared ("parent" or "root"); ``mode`` is
+    "min", "max" or "rand".
+    """
+
+    name: str
+    by: str
+    mode: str
+
+    def __post_init__(self) -> None:
+        if self.by not in ("parent", "root"):
+            raise ValueError(f"semiring 'by' must be parent or root, got {self.by}")
+        if self.mode not in ("min", "max", "rand"):
+            raise ValueError(f"semiring 'mode' must be min/max/rand, got {self.mode}")
+
+    @property
+    def deterministic(self) -> bool:
+        return self.mode != "rand"
+
+
+SR_MIN_PARENT = Semiring("select2nd.minParent", by="parent", mode="min")
+SR_MAX_PARENT = Semiring("select2nd.maxParent", by="parent", mode="max")
+SR_RAND_PARENT = Semiring("select2nd.randParent", by="parent", mode="rand")
+SR_MIN_ROOT = Semiring("select2nd.minRoot", by="root", mode="min")
+SR_RAND_ROOT = Semiring("select2nd.randRoot", by="root", mode="rand")
+
+
+def reduce_candidates(
+    rows: np.ndarray,
+    parents: np.ndarray,
+    roots: np.ndarray,
+    semiring: Semiring = SR_MIN_PARENT,
+    rng: np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Reduce candidate (row, parent, root) triples to one winner per row.
+
+    Returns ``(row_idx, parent, root)`` with ``row_idx`` strictly increasing.
+    For ``mode="rand"`` an ``rng`` must be supplied; the reduction is then a
+    uniform choice among each row's candidates.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    parents = np.asarray(parents, dtype=np.int64)
+    roots = np.asarray(roots, dtype=np.int64)
+    if rows.size == 0:
+        e = np.empty(0, np.int64)
+        return e, e.copy(), e.copy()
+
+    key = parents if semiring.by == "parent" else roots
+    if semiring.mode == "rand":
+        if rng is None:
+            raise ValueError(f"semiring {semiring.name} needs an rng")
+        # Shuffle candidates, then stable-sort by row: the first candidate of
+        # each row group is a uniform choice among that row's candidates.
+        perm = rng.permutation(rows.size)
+        rows, parents, roots = rows[perm], parents[perm], roots[perm]
+        order = np.argsort(rows, kind="stable")
+    else:
+        k = -key if semiring.mode == "max" else key
+        order = np.lexsort((k, rows))
+    rows, parents, roots = rows[order], parents[order], roots[order]
+    first = np.empty(rows.size, dtype=bool)
+    first[0] = True
+    np.not_equal(rows[1:], rows[:-1], out=first[1:])
+    return rows[first], parents[first], roots[first]

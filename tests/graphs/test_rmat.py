@@ -1,0 +1,85 @@
+"""RMAT generator: parameter presets, shape/size, degree-skew invariants."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import rmat
+from repro.graphs.rmat import ER_PARAMS, G500_PARAMS, SSCA_PARAMS, RmatParams, rmat_graph
+
+
+def test_paper_seed_parameters():
+    """§V-B's exact parameter sets."""
+    assert (G500_PARAMS.a, G500_PARAMS.b, G500_PARAMS.c, G500_PARAMS.d) == (0.57, 0.19, 0.19, 0.05)
+    assert SSCA_PARAMS.a == 0.6
+    assert SSCA_PARAMS.b == SSCA_PARAMS.c == SSCA_PARAMS.d == pytest.approx(0.4 / 3)
+    assert ER_PARAMS == RmatParams(0.25, 0.25, 0.25, 0.25)
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        RmatParams(0.5, 0.5, 0.5, 0.5)
+    with pytest.raises(ValueError):
+        RmatParams(1.2, -0.2, 0.0, 0.0)
+
+
+def test_scale_gives_power_of_two_dimensions():
+    g = rmat.g500(scale=8, seed=1)
+    assert g.shape == (256, 256)
+    g = rmat.ssca(scale=6, seed=1)
+    assert g.shape == (64, 64)
+
+
+def test_edge_count_near_edgefactor_times_n():
+    g = rmat.er(scale=10, seed=2)  # dedup losses are small for ER
+    n = 1024
+    assert 0.9 * 32 * n <= g.nnz <= 32 * n
+
+
+def test_g500_is_skewed_er_is_not():
+    """G500's max degree must far exceed ER's at equal size/edgefactor —
+    the paper's 'skewed degree distributions' claim."""
+    g = rmat.g500(scale=12, seed=3)
+    e = rmat.er(scale=12, seed=3)
+    assert g.row_degrees().max() > 3 * e.row_degrees().max()
+
+
+def test_ssca_skew_between_er_and_g500():
+    g = rmat.g500(scale=11, seed=4).row_degrees().max()
+    s = rmat.ssca(scale=11, seed=4).row_degrees().max()
+    e = rmat.er(scale=11, seed=4).row_degrees().max()
+    assert e < s < g
+
+
+def test_determinism_and_seed_sensitivity():
+    a = rmat.g500(scale=8, seed=5)
+    b = rmat.g500(scale=8, seed=5)
+    c = rmat.g500(scale=8, seed=6)
+    assert a == b
+    assert a != c
+
+
+def test_permute_flag():
+    """Unpermuted G500 concentrates nonzeros in low indices (quadrant a);
+    permutation spreads them."""
+    raw = rmat.g500(scale=10, seed=7, permute=False)
+    perm = rmat.g500(scale=10, seed=7, permute=True)
+    n = 1024
+    low_raw = (raw.rows < n // 4).mean()
+    low_perm = (perm.rows < n // 4).mean()
+    assert low_raw > 0.5 > low_perm
+    assert abs(low_perm - 0.25) < 0.05
+
+
+def test_scale_zero_and_validation():
+    g = rmat_graph(0, 4, ER_PARAMS, seed=0)
+    assert g.shape == (1, 1)
+    with pytest.raises(ValueError):
+        rmat_graph(-1, 4, ER_PARAMS)
+    with pytest.raises(ValueError):
+        rmat_graph(31, 4, ER_PARAMS)
+
+
+def test_indices_in_range():
+    g = rmat.g500(scale=9, seed=8)
+    assert g.rows.min() >= 0 and g.rows.max() < 512
+    assert g.cols.min() >= 0 and g.cols.max() < 512

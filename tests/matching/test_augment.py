@@ -1,0 +1,111 @@
+"""Augmentation variants: Algorithm 3 vs Algorithm 4 equivalence + switch."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.spvec import NULL
+from repro.matching import (
+    augment_level_parallel,
+    augment_path_parallel,
+    choose_augment_mode,
+)
+from repro.matching.augment import AugmentStats, augment_auto
+
+
+def single_path_state():
+    """One augmenting path of length 5: c1 - r0 - c0 - r1 - c2(free end? no)
+    Layout: root column 1, rows 0,1, path ends at free row 1.
+
+    pi_r[1] = 0 (parent col of row 1), mate_c[0] = 0 / mate_r[0] = 0 is the
+    matched middle edge, pi_r[0] = 1 (parent col of row 0 is the root).
+    Path (from free row 1): r1 -> c0 -> r0 -> c1(root).
+    """
+    pi_r = np.array([1, 0], dtype=np.int64)
+    mate_r = np.array([0, NULL], dtype=np.int64)
+    mate_c = np.array([0, NULL, NULL], dtype=np.int64)
+    path_c = np.array([NULL, 1, NULL], dtype=np.int64)  # root col 1 -> end row 1
+    return path_c, pi_r, mate_r, mate_c
+
+
+@pytest.mark.parametrize("augment", [augment_level_parallel, augment_path_parallel])
+def test_augment_flips_alternating_path(augment):
+    path_c, pi_r, mate_r, mate_c = single_path_state()
+    k = augment(path_c, pi_r, mate_r, mate_c)
+    assert k == 1
+    # After flipping: r1-c0 and r0-c1 are matched; cardinality grew 1 -> 2.
+    assert mate_r.tolist() == [1, 0]
+    assert mate_c.tolist() == [1, 0, NULL]
+
+
+def test_level_and_path_produce_identical_matchings():
+    rng = np.random.default_rng(0)
+    for _ in range(20):
+        n = 30
+        # build several vertex-disjoint alternating paths synthetically
+        pi_r = np.full(n, NULL, np.int64)
+        mate_r = np.full(n, NULL, np.int64)
+        mate_c = np.full(n, NULL, np.int64)
+        path_c = np.full(n, NULL, np.int64)
+        v = list(rng.permutation(n))
+        # carve disjoint paths of odd edge-length 1, 3, 5 from the id space
+        while len(v) >= 6:
+            c_root, r1, c1, r2 = v.pop(), v.pop(), v.pop(), v.pop()
+            # path: root c_root - r1 - c1 - r2(free)
+            pi_r[r1] = c_root
+            pi_r[r2] = c1
+            mate_r[r1] = c1
+            mate_c[c1] = r1
+            path_c[c_root] = r2
+        a_r, a_c = mate_r.copy(), mate_c.copy()
+        b_r, b_c = mate_r.copy(), mate_c.copy()
+        k1 = augment_level_parallel(path_c, pi_r, a_r, a_c)
+        k2 = augment_path_parallel(path_c, pi_r, b_r, b_c)
+        assert k1 == k2
+        assert np.array_equal(a_r, b_r)
+        assert np.array_equal(a_c, b_c)
+
+
+def test_augment_stats_level():
+    path_c, pi_r, mate_r, mate_c = single_path_state()
+    stats = AugmentStats()
+    augment_level_parallel(path_c, pi_r, mate_r, mate_c, stats)
+    assert stats.level_calls == 1 and stats.path_calls == 0
+    assert stats.k_per_call == [1]
+    assert stats.level_iterations == [2]  # path of 2 (row, col) pairs
+    assert stats.active_per_level == [[1, 1]]
+
+
+def test_augment_stats_path():
+    path_c, pi_r, mate_r, mate_c = single_path_state()
+    stats = AugmentStats()
+    augment_path_parallel(path_c, pi_r, mate_r, mate_c, stats)
+    assert stats.path_calls == 1
+    assert stats.path_steps[0].tolist() == [2]
+
+
+def test_empty_path_set():
+    n = 4
+    path_c = np.full(n, NULL, np.int64)
+    pi_r = np.full(n, NULL, np.int64)
+    mate_r = np.full(n, NULL, np.int64)
+    mate_c = np.full(n, NULL, np.int64)
+    assert augment_level_parallel(path_c, pi_r, mate_r, mate_c) == 0
+    assert augment_path_parallel(path_c, pi_r, mate_r, mate_c) == 0
+
+
+def test_choose_augment_mode_threshold():
+    """The paper's rule: path-parallel iff k < 2p²."""
+    assert choose_augment_mode(k=1, nprocs=4) == "path"
+    assert choose_augment_mode(k=31, nprocs=4) == "path"   # 31 < 32
+    assert choose_augment_mode(k=32, nprocs=4) == "level"  # 32 == 2*16
+    assert choose_augment_mode(k=10**6, nprocs=4) == "level"
+    assert choose_augment_mode(k=0, nprocs=1) == "path"
+
+
+def test_augment_auto_dispatch_and_validation():
+    path_c, pi_r, mate_r, mate_c = single_path_state()
+    stats = AugmentStats()
+    augment_auto(path_c, pi_r, mate_r, mate_c, mode="auto", nprocs=8, stats=stats)
+    assert stats.path_calls == 1  # k=1 < 2*64
+    with pytest.raises(ValueError, match="unknown augment mode"):
+        augment_auto(path_c, pi_r, mate_r, mate_c, mode="sideways")

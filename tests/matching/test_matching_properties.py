@@ -1,0 +1,116 @@
+"""Property-based cross-validation of every matching algorithm."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.sparse import COO, CSC, SR_MIN_PARENT, SR_RAND_ROOT
+from repro.matching import (
+    dynamic_mindegree,
+    greedy_maximal,
+    greedy_rounds,
+    hopcroft_karp,
+    karp_sipser,
+    karp_sipser_rounds,
+    maximum_matching,
+    mindegree_rounds,
+    ms_bfs_mcm,
+    pothen_fan,
+    single_source_mcm,
+)
+from repro.matching.validate import (
+    cardinality,
+    is_maximal_matching,
+    is_valid_matching,
+    verify_maximum,
+)
+
+from .conftest import scipy_optimum
+
+
+@st.composite
+def bipartite(draw, max_dim=35, max_nnz=160):
+    n1 = draw(st.integers(1, max_dim))
+    n2 = draw(st.integers(1, max_dim))
+    nnz = draw(st.integers(0, max_nnz))
+    rows = draw(st.lists(st.integers(0, n1 - 1), min_size=nnz, max_size=nnz))
+    cols = draw(st.lists(st.integers(0, n2 - 1), min_size=nnz, max_size=nnz))
+    return CSC.from_coo(COO(n1, n2, np.array(rows, np.int64), np.array(cols, np.int64)))
+
+
+@settings(max_examples=40, deadline=None)
+@given(bipartite())
+def test_all_mcm_algorithms_agree(a):
+    opt = scipy_optimum(a)
+    for algo in (hopcroft_karp, pothen_fan, single_source_mcm):
+        mr, mc = algo(a)
+        assert is_valid_matching(a, mr, mc)
+        assert cardinality(mr) == opt
+    mr, mc, _ = ms_bfs_mcm(a)
+    assert cardinality(mr) == opt
+    assert verify_maximum(a, mr, mc)
+
+
+@settings(max_examples=40, deadline=None)
+@given(bipartite(), st.sampled_from([None, "greedy", "karp-sipser", "mindegree"]))
+def test_mcm_with_initializers_is_optimal(a, init):
+    opt = scipy_optimum(a)
+    mr, mc, stats = maximum_matching(a, init=init)
+    assert cardinality(mr) == opt
+    assert stats.final_cardinality == opt
+
+
+@settings(max_examples=40, deadline=None)
+@given(bipartite(), st.integers(0, 2**31 - 1))
+def test_randomized_semiring_is_optimal(a, seed):
+    opt = scipy_optimum(a)
+    mr, mc, _ = ms_bfs_mcm(a, semiring=SR_RAND_ROOT, rng=np.random.default_rng(seed))
+    assert cardinality(mr) == opt
+    assert verify_maximum(a, mr, mc)
+
+
+@settings(max_examples=40, deadline=None)
+@given(bipartite())
+def test_maximal_algorithms_are_valid_maximal_half_approx(a):
+    opt = scipy_optimum(a)
+    for algo in (greedy_maximal, karp_sipser, dynamic_mindegree):
+        mr, mc = algo(a, np.random.default_rng(0))
+        assert is_valid_matching(a, mr, mc)
+        assert is_maximal_matching(a, mr, mc)
+        assert 2 * cardinality(mr) >= opt
+    for fn in (greedy_rounds, karp_sipser_rounds, mindegree_rounds):
+        res = fn(a)
+        assert is_valid_matching(a, res.mate_r, res.mate_c)
+        assert is_maximal_matching(a, res.mate_r, res.mate_c)
+        assert 2 * res.cardinality >= opt
+
+
+@settings(max_examples=30, deadline=None)
+@given(bipartite())
+def test_prune_on_off_equal_cardinality(a):
+    r_on = ms_bfs_mcm(a, prune=True)
+    r_off = ms_bfs_mcm(a, prune=False)
+    assert r_on[2].final_cardinality == r_off[2].final_cardinality
+    assert r_on[2].edges_traversed <= r_off[2].edges_traversed
+
+
+@settings(max_examples=30, deadline=None)
+@given(bipartite(), st.sampled_from(["level", "path"]))
+def test_augment_modes_equal_cardinality(a, mode):
+    opt = scipy_optimum(a)
+    mr, _, _ = ms_bfs_mcm(a, augment_mode=mode)
+    assert cardinality(mr) == opt
+
+
+@settings(max_examples=30, deadline=None)
+@given(bipartite(), st.integers(0, 2**31 - 1))
+def test_matching_invariant_under_permutation(a, seed):
+    """Relabeling vertices must not change the optimal cardinality found."""
+    from repro.sparse.permute import randomly_permuted, unpermute_matching
+
+    rng = np.random.default_rng(seed)
+    coo = a.to_coo()
+    b, rp, cp = randomly_permuted(coo, rng)
+    mr_b, mc_b, _ = ms_bfs_mcm(CSC.from_coo(b))
+    mr, mc = unpermute_matching(mr_b, mc_b, rp, cp)
+    assert is_valid_matching(a, mr, mc)
+    assert cardinality(mr) == scipy_optimum(a)

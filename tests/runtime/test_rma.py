@@ -1,0 +1,192 @@
+"""One-sided (RMA) window semantics."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import Window, WindowError, spmd
+
+
+def test_get_reads_remote_memory():
+    def main(comm):
+        local = np.full(4, comm.rank, dtype=np.int64)
+        win = Window(comm, local)
+        win.fence()
+        got = win.get((comm.rank + 1) % comm.size, 2)
+        win.fence()
+        win.free()
+        return int(got)
+
+    res = spmd(3, main)
+    assert res.values == [1, 2, 0]
+
+
+def test_put_writes_remote_memory():
+    def main(comm):
+        local = np.zeros(comm.size, dtype=np.int64)
+        win = Window(comm, local)
+        win.fence()
+        for target in range(comm.size):
+            win.put(target, comm.rank, comm.rank + 1)
+        win.fence()
+        win.free()
+        return local.tolist()
+
+    res = spmd(4, main)
+    for v in res:
+        assert v == [1, 2, 3, 4]
+
+
+def test_vectorized_get_and_put():
+    def main(comm):
+        local = np.arange(8, dtype=np.int64) + 100 * comm.rank
+        win = Window(comm, local)
+        win.fence()
+        idx = np.array([1, 3, 5])
+        vals = win.get((comm.rank + 1) % comm.size, idx)
+        win.fence()
+        win.free()
+        return vals.tolist()
+
+    res = spmd(2, main)
+    assert res[0] == [101, 103, 105]
+    assert res[1] == [1, 3, 5]
+
+
+def test_fetch_and_op_replace_returns_old_value():
+    """The fused read-old/install-new used by path-parallel augmentation."""
+
+    def main(comm):
+        local = np.full(2, -1, dtype=np.int64)
+        win = Window(comm, local)
+        win.fence()
+        if comm.rank == 1:
+            old = win.fetch_and_op(0, 0, 42)     # replace
+            old2 = win.fetch_and_op(0, 0, 43)    # replace again
+            win.fence()
+            win.free()
+            return (int(old), int(old2))
+        win.fence()
+        result = int(local[0])
+        win.free()
+        return result
+
+    res = spmd(2, main)
+    assert res[1] == (-1, 42)
+    assert res[0] == 43
+
+
+def test_fetch_and_op_with_operator():
+    def main(comm):
+        local = np.array([10], dtype=np.int64)
+        win = Window(comm, local)
+        win.fence()
+        old = win.fetch_and_op(comm.rank, 0, 5, op=np.add)
+        win.fence()
+        win.free()
+        return (int(old), int(local[0]))
+
+    res = spmd(1, main)
+    assert res[0] == (10, 15)
+
+
+def test_accumulate_is_atomic_under_contention():
+    """All ranks accumulate into rank 0's counter; the total must be exact."""
+    P, REPS = 8, 200
+
+    def main(comm):
+        local = np.zeros(1, dtype=np.int64)
+        win = Window(comm, local)
+        win.fence()
+        for _ in range(REPS):
+            win.accumulate(0, 0, 1)
+        win.fence()
+        result = int(local[0])
+        win.free()
+        return result
+
+    res = spmd(P, main)
+    assert res[0] == P * REPS
+
+
+def test_compare_and_swap():
+    def main(comm):
+        local = np.array([0], dtype=np.int64)
+        win = Window(comm, local)
+        win.fence()
+        observed = win.compare_and_swap(0, 0, expected=0, desired=comm.rank + 1)
+        win.fence()
+        winner = int(local[0]) if comm.rank == 0 else None
+        win.free()
+        return (int(observed), winner)
+
+    res = spmd(4, main)
+    # Exactly one rank observed 0 and won; rank 0's memory holds the winner.
+    winners = [r for r in range(4) if res[r][0] == 0]
+    assert len(winners) == 1
+    assert res[0][1] == winners[0] + 1
+
+
+def test_out_of_range_access_raises():
+    def main(comm):
+        win = Window(comm, np.zeros(4, dtype=np.int64))
+        win.fence()
+        try:
+            win.get(0, 10)
+        finally:
+            win.fence()
+            win.free()
+
+    with pytest.raises(WindowError):
+        spmd(2, main, timeout=5.0)
+
+
+def test_access_after_free_raises():
+    def main(comm):
+        win = Window(comm, np.zeros(4, dtype=np.int64))
+        win.free()
+        win.get(0, 0)
+
+    with pytest.raises(WindowError):
+        spmd(2, main, timeout=5.0)
+
+
+def test_window_memory_must_be_1d_array():
+    def main(comm):
+        Window(comm, np.zeros((2, 2)))
+
+    with pytest.raises(WindowError):
+        spmd(1, main, timeout=5.0)
+
+
+def test_rma_op_counters():
+    def main(comm):
+        win = Window(comm, np.zeros(4, dtype=np.int64))
+        win.fence()
+        win.get(0, 1)
+        win.put(0, 2, 7)
+        win.fetch_and_op(0, 3, 9)
+        win.fence()
+        counters = (win.rma_ops, win.rma_words)
+        win.free()
+        return counters
+
+    res = spmd(1, main)
+    assert res[0] == (3, 3)
+
+
+def test_two_windows_coexist():
+    def main(comm):
+        a = np.full(2, 1, dtype=np.int64)
+        b = np.full(2, 2, dtype=np.int64)
+        wa = Window(comm, a)
+        wb = Window(comm, b)
+        wa.fence(); wb.fence()
+        va = wa.get((comm.rank + 1) % comm.size, 0)
+        vb = wb.get((comm.rank + 1) % comm.size, 0)
+        wa.fence(); wb.fence()
+        wa.free(); wb.free()
+        return (int(va), int(vb))
+
+    res = spmd(2, main)
+    for v in res:
+        assert v == (1, 2)

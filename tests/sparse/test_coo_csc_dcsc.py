@@ -1,0 +1,173 @@
+"""Matrix containers: COO building, CSC/DCSC equivalence, format invariants."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import COO, CSC, DCSC
+
+
+def small():
+    # The paper's Fig. 2 example graph: 4 rows x 5 cols.
+    edges = [(0, 0), (0, 3), (1, 0), (1, 1), (2, 1), (2, 2), (3, 2), (3, 4), (2, 4)]
+    return COO.from_edges(4, 5, edges)
+
+
+# -- COO -----------------------------------------------------------------------
+
+def test_coo_basic_properties():
+    a = small()
+    assert a.shape == (4, 5)
+    assert a.nnz == 9
+    assert a.row_degrees().tolist() == [2, 2, 3, 2]
+    assert a.col_degrees().tolist() == [2, 2, 2, 1, 2]
+
+
+def test_coo_dedup():
+    a = COO.from_edges(2, 2, [(0, 0), (0, 0), (1, 1), (0, 0)])
+    assert a.nnz == 2
+
+
+def test_coo_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        COO.from_edges(2, 2, [(0, 5)])
+    with pytest.raises(ValueError):
+        COO.from_edges(2, 2, [(-1, 0)])
+
+
+def test_coo_transpose_round_trip():
+    a = small()
+    t = a.transpose()
+    assert t.shape == (5, 4)
+    assert t.transpose() == a
+
+
+def test_coo_permuted_preserves_structure():
+    a = small()
+    rp = np.array([2, 0, 3, 1])
+    cp = np.array([4, 3, 2, 1, 0])
+    b = a.permuted(rp, cp)
+    assert b.nnz == a.nnz
+    # edge (0,0) became (2,4)
+    pairs = set(zip(b.rows.tolist(), b.cols.tolist()))
+    assert (2, 4) in pairs
+
+
+def test_coo_block_extraction():
+    a = small()
+    blk = a.block(0, 2, 0, 2)  # rows 0-1, cols 0-1
+    pairs = set(zip(blk.rows.tolist(), blk.cols.tolist()))
+    assert pairs == {(0, 0), (1, 0), (1, 1)}
+    assert blk.shape == (2, 2)
+
+
+def test_coo_empty_and_identity():
+    assert COO.empty(3, 4).nnz == 0
+    i = COO.identity(3)
+    assert i.nnz == 3 and i.shape == (3, 3)
+
+
+# -- CSC -----------------------------------------------------------------------
+
+def test_csc_round_trip():
+    a = small()
+    csc = CSC.from_coo(a)
+    assert csc.nnz == a.nnz
+    assert csc.to_coo() == a
+
+
+def test_csc_columns_sorted():
+    csc = CSC.from_coo(small())
+    for j in range(csc.ncols):
+        col = csc.column(j)
+        assert np.all(np.diff(col) > 0)
+
+
+def test_csc_degrees():
+    csc = CSC.from_coo(small())
+    assert csc.col_degrees().tolist() == [2, 2, 2, 1, 2]
+    assert csc.row_degrees().tolist() == [2, 2, 3, 2]
+
+
+def test_csc_transpose_is_cached_and_correct():
+    csc = CSC.from_coo(small())
+    t = csc.transpose()
+    assert t.shape == (5, 4)
+    assert t.transpose() is csc
+    assert t.to_coo() == small().transpose()
+
+
+def test_csc_validation():
+    with pytest.raises(ValueError):
+        CSC(2, 2, np.array([0, 1]), np.array([0]))  # wrong indptr length
+    with pytest.raises(ValueError):
+        CSC(2, 2, np.array([0, 2, 1]), np.array([0, 1]))  # decreasing
+    with pytest.raises(ValueError):
+        CSC(2, 2, np.array([0, 1, 2]), np.array([0, 5]))  # row out of range
+
+
+def test_csc_neighbor_of_each():
+    csc = CSC.from_coo(small())
+    cols = np.array([0, 2, 4])
+    assert csc.neighbor_of_each(cols, "first").tolist() == [0, 2, 2]
+    assert csc.neighbor_of_each(cols, "last").tolist() == [1, 3, 3]
+    with pytest.raises(ValueError):
+        csc.neighbor_of_each(cols, "middle")
+
+
+# -- DCSC ----------------------------------------------------------------------
+
+def test_dcsc_round_trip():
+    a = small()
+    d = DCSC.from_coo(a)
+    assert d.nnz == a.nnz
+    assert d.to_coo() == a
+
+
+def test_dcsc_skips_empty_columns():
+    a = COO.from_edges(4, 1000, [(0, 5), (1, 5), (2, 900)])
+    d = DCSC.from_coo(a)
+    assert d.nzc == 2
+    assert d.jc.tolist() == [5, 900]
+    # Memory is O(nnz + nzc), far below the 1001 words CSC's indptr needs.
+    assert d.memory_words() == 2 + 3 + 3
+
+
+def test_dcsc_hypersparse_memory_advantage():
+    """A block with nnz << ncols must beat CSC storage — the reason CombBLAS
+    (and we) use DCSC for 2D blocks."""
+    ncols = 100_000
+    a = COO.from_edges(100, ncols, [(i, i * 997 % ncols) for i in range(50)])
+    d = DCSC.from_coo(a)
+    csc_words = ncols + 1 + a.nnz
+    assert d.memory_words() < csc_words / 100
+
+
+def test_dcsc_empty_matrix():
+    d = DCSC.from_coo(COO.empty(5, 5))
+    assert d.nnz == 0 and d.nzc == 0
+    assert d.to_coo().nnz == 0
+
+
+def test_dcsc_degrees():
+    d = DCSC.from_coo(small())
+    jc, deg = d.col_degrees_compressed()
+    assert jc.tolist() == [0, 1, 2, 3, 4]
+    assert deg.tolist() == [2, 2, 2, 1, 2]
+    assert d.row_degrees().tolist() == [2, 2, 3, 2]
+
+
+def test_dcsc_validation():
+    with pytest.raises(ValueError):
+        DCSC(2, 2, np.array([0, 0]), np.array([0, 1, 2]), np.array([0, 1]))  # dup jc
+    with pytest.raises(ValueError):
+        DCSC(2, 2, np.array([0]), np.array([0, 0]), np.empty(0, np.int64))  # empty jc col
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_csc_dcsc_agree_on_random_matrices(seed):
+    rng = np.random.default_rng(seed)
+    m = 300
+    rows = rng.integers(0, 40, m)
+    cols = rng.integers(0, 60, m)
+    a = COO(40, 60, rows, cols)
+    assert CSC.from_coo(a).to_coo() == DCSC.from_coo(a).to_coo()

@@ -1,0 +1,154 @@
+"""Semiring SpMV: the Fig. 2 worked example and CSC/DCSC agreement."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    COO,
+    CSC,
+    DCSC,
+    SR_MAX_PARENT,
+    SR_MIN_PARENT,
+    SR_MIN_ROOT,
+    SR_RAND_PARENT,
+    SR_RAND_ROOT,
+    Semiring,
+    VertexFrontier,
+)
+from repro.sparse.semiring import reduce_candidates
+
+
+def fig2_matrix():
+    """The paper's Fig. 2 bipartite graph: rows r1..r5, cols c1..c5 (0-based
+    here).  Edges chosen to exercise multi-candidate reduction: row 1 is
+    adjacent to frontier columns 0, 1 and 4."""
+    edges = [
+        (0, 0), (1, 0),
+        (1, 1), (2, 1),
+        (2, 2), (3, 2),
+        (1, 4), (3, 4), (4, 4),
+        (4, 3),
+    ]
+    return CSC.from_coo(COO.from_edges(5, 5, edges))
+
+
+def unmatched_frontier():
+    # initial frontier: unmatched columns 0, 1, 4 with parent=root=self
+    return VertexFrontier.roots_of_self(5, np.array([0, 1, 4]))
+
+
+def test_spmv_min_parent_fig2():
+    a = fig2_matrix()
+    fr = a.spmv_frontier(unmatched_frontier(), SR_MIN_PARENT)
+    # Reached rows: 0 (from c0), 1 (c0,c1,c4 -> min parent c0),
+    # 2 (c1), 3 (c4), 4 (c4)
+    assert fr.idx.tolist() == [0, 1, 2, 3, 4]
+    assert fr.parent.tolist() == [0, 0, 1, 4, 4]
+    assert fr.root.tolist() == [0, 0, 1, 4, 4]
+
+
+def test_spmv_max_parent():
+    a = fig2_matrix()
+    fr = a.spmv_frontier(unmatched_frontier(), SR_MAX_PARENT)
+    assert fr.parent.tolist() == [0, 4, 1, 4, 4]
+
+
+def test_spmv_rand_parent_is_valid_choice():
+    a = fig2_matrix()
+    rng = np.random.default_rng(7)
+    fr = a.spmv_frontier(unmatched_frontier(), SR_RAND_PARENT, rng)
+    assert fr.idx.tolist() == [0, 1, 2, 3, 4]
+    # row 1's parent must be one of its adjacent frontier columns
+    assert fr.parent[1] in (0, 1, 4)
+    # every winner's root equals its parent here (initial frontier)
+    assert np.array_equal(fr.parent, fr.root)
+
+
+def test_spmv_rand_requires_rng():
+    a = fig2_matrix()
+    with pytest.raises(ValueError):
+        a.spmv_frontier(unmatched_frontier(), SR_RAND_ROOT, rng=None)
+
+
+def test_spmv_rand_parent_distribution():
+    """Row 1 has candidates {0, 1, 4}: over many seeds each must appear."""
+    a = fig2_matrix()
+    seen = set()
+    for seed in range(40):
+        fr = a.spmv_frontier(unmatched_frontier(), SR_RAND_PARENT, np.random.default_rng(seed))
+        seen.add(int(fr.parent[1]))
+    assert seen == {0, 1, 4}
+
+
+def test_spmv_roots_inherited_not_recomputed():
+    """When the frontier's roots differ from its indices, winners must carry
+    the inherited root."""
+    a = fig2_matrix()
+    fc = VertexFrontier(5, np.array([1]), np.array([1]), np.array([40 % 5]))  # root=0
+    fr = a.spmv_frontier(fc, SR_MIN_PARENT)
+    assert fr.idx.tolist() == [1, 2]
+    assert fr.parent.tolist() == [1, 1]
+    assert fr.root.tolist() == [0, 0]
+
+
+def test_spmv_empty_frontier():
+    a = fig2_matrix()
+    fr = a.spmv_frontier(VertexFrontier.empty(5))
+    assert fr.is_empty()
+
+
+def test_spmv_count_is_frontier_degree_sum():
+    a = fig2_matrix()
+    fc = unmatched_frontier()
+    assert a.spmv_count(fc) == 2 + 2 + 3  # deg(c0)+deg(c1)+deg(c4)
+
+
+def test_min_root_semiring():
+    # Two frontier cols with swapped roots: minRoot must pick by root.
+    a = fig2_matrix()
+    fc = VertexFrontier(5, np.array([0, 1]), np.array([0, 1]), np.array([9 % 5, 0]))
+    fr = a.spmv_frontier(fc, SR_MIN_ROOT)
+    # row 1 adjacent to c0 (root 4) and c1 (root 0): minRoot -> c1
+    assert fr.parent[fr.idx.tolist().index(1)] == 1
+
+
+@pytest.mark.parametrize("sr", [SR_MIN_PARENT, SR_MAX_PARENT, SR_MIN_ROOT])
+def test_csc_and_dcsc_spmv_agree(sr):
+    rng = np.random.default_rng(3)
+    coo = COO(50, 80, rng.integers(0, 50, 400), rng.integers(0, 80, 400))
+    csc = CSC.from_coo(coo)
+    dcsc = DCSC.from_coo(coo)
+    fidx = np.unique(rng.integers(0, 80, 20))
+    fc = VertexFrontier.roots_of_self(80, fidx)
+    f1 = csc.spmv_frontier(fc, sr)
+    f2 = dcsc.spmv_frontier(fc, sr)
+    assert np.array_equal(f1.idx, f2.idx)
+    assert np.array_equal(f1.parent, f2.parent)
+    assert np.array_equal(f1.root, f2.root)
+    assert csc.spmv_count(fc) == dcsc.spmv_count(fc)
+
+
+def test_dcsc_spmv_on_columns_absent_from_block():
+    """Frontier columns that are empty in this block contribute nothing."""
+    coo = COO.from_edges(4, 100, [(0, 10), (1, 20)])
+    d = DCSC.from_coo(coo)
+    fc = VertexFrontier.roots_of_self(100, np.array([5, 10, 50]))
+    fr = d.spmv_frontier(fc)
+    assert fr.idx.tolist() == [0]
+    assert fr.parent.tolist() == [10]
+    assert d.spmv_count(fc) == 1
+
+
+def test_reduce_candidates_empty():
+    e = np.empty(0, np.int64)
+    r, p, t = reduce_candidates(e, e, e)
+    assert r.size == p.size == t.size == 0
+
+
+def test_semiring_validation():
+    with pytest.raises(ValueError):
+        Semiring("bad", by="mate", mode="min")
+    with pytest.raises(ValueError):
+        Semiring("bad", by="parent", mode="median")
+    assert SR_MIN_PARENT.deterministic
+    assert not SR_RAND_PARENT.deterministic

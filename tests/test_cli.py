@@ -1,0 +1,65 @@
+"""Command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+def test_match_rmat(capsys):
+    assert main(["match", "--rmat", "er:8", "--certify"]) == 0
+    out = capsys.readouterr().out
+    assert "maximum" in out
+    assert "VERIFIED maximum" in out
+
+
+def test_match_suite_input(capsys):
+    assert main(["match", "--suite", "amazon-2008", "--target-nnz", "5000"]) == 0
+    assert "graph" in capsys.readouterr().out
+
+
+def test_match_mtx_and_output(tmp_path, capsys):
+    from repro.sparse import COO, mmio
+
+    path = tmp_path / "g.mtx"
+    mmio.write_mm(COO.from_edges(3, 3, [(0, 0), (1, 1), (2, 2), (0, 1)]), path)
+    out_npz = tmp_path / "mates.npz"
+    assert main(["match", "--mtx", str(path), "--out", str(out_npz)]) == 0
+    data = np.load(out_npz)
+    assert (data["mate_r"] != -1).sum() == 3
+
+
+def test_match_requires_exactly_one_input():
+    with pytest.raises(SystemExit):
+        main(["match"])
+    with pytest.raises(SystemExit):
+        main(["match", "--rmat", "er:6", "--suite", "road_usa"])
+
+
+def test_match_rejects_bad_rmat_spec():
+    with pytest.raises(SystemExit):
+        main(["match", "--rmat", "banana"])
+
+
+def test_match_direction_and_noprune(capsys):
+    assert main(["match", "--rmat", "er:8", "--direction", "auto", "--no-prune"]) == 0
+
+
+def test_suite_listing(capsys):
+    assert main(["suite"]) == 0
+    out = capsys.readouterr().out
+    assert "road_usa" in out and "nlpkkt200" in out
+
+
+def test_scaling_study(capsys):
+    assert main([
+        "scaling", "--rmat", "er:8", "--cores", "24,108", "--breakdown",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "speedup" in out and "SpMV" in out
+
+
+def test_spmd_run(capsys):
+    assert main(["spmd", "--rmat", "er:7", "--pr", "2", "--pc", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "grid 2x2" in out
