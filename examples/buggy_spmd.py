@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Three seeded SPMD bugs — the end-to-end fixture for ``repro lint``.
+
+Each function below contains exactly one classic SPMD mistake.  The linter
+must report all three with file:line:
+
+1. ``divergent_reduction``  — a collective entered only by rank 0 (SPMD101);
+2. ``reserved_tag_exchange`` — a user tag inside the reserved collective tag
+   space (SPMD201);
+3. ``unseeded_shuffle``      — rank-local use of the unseeded global NumPy
+   RNG (SPMD401).
+
+Running any of these under the simulated runtime fails too (deadlock /
+``CommError`` / nondeterministic results) — the point of the linter is to
+catch them *before* the run:
+
+    python -m repro lint examples/buggy_spmd.py
+"""
+
+import numpy as np
+
+
+def divergent_reduction(comm):
+    """BUG: only rank 0 enters the allreduce; every other rank skips it.
+
+    Rank 0 blocks forever waiting for contributions that never come (the
+    runtime converts that into DeadlockError; ``--verify`` mode reports the
+    divergence precisely).
+    """
+    if comm.rank == 0:
+        total = comm.allreduce(1)
+    else:
+        total = None
+    return total
+
+
+def reserved_tag_exchange(comm):
+    """BUG: tag 2**30 collides with the runtime's collective tag space."""
+    right = (comm.rank + 1) % comm.size
+    comm.send(right, b"payload", tag=1 << 30)
+    return comm.recv()
+
+
+def unseeded_shuffle(comm, items):
+    """BUG: the global NumPy RNG is unseeded, so every rank shuffles its
+    replicated copy differently and the ranks silently disagree."""
+    local = np.asarray(items).copy()
+    np.random.shuffle(local)
+    return comm.allgather(local)

@@ -1,0 +1,37 @@
+"""Static + dynamic correctness analysis for SPMD programs.
+
+The package attacks the two failure classes of bulk-synchronous SPMD code
+that the runtime's docstrings warn about:
+
+* **collective divergence** — ranks of one communicator entering different
+  collectives (deadlock, or silent garbage exchange), typically caused by
+  collectives under rank-dependent control flow;
+* **one-sided races** — unsynchronized ``Get``/``Put``/``Fetch-and-op``
+  overlap in passive-target epochs, the hazard of the paper's path-parallel
+  augmentation (Algorithm 4).
+
+The *static* half lives here: an AST linter (:func:`lint_paths`,
+``repro lint``) with the rule catalogue in :mod:`repro.analysis.rules`.
+The *dynamic* half is wired into the runtime and enabled per job with
+``spmd(..., verify=True)`` (``repro spmd --verify``): a collective-trace
+checker in :class:`repro.runtime.fabric.CollectiveTrace` and an RMA race
+detector in :class:`repro.runtime.rma.RmaAccessLog`.
+"""
+
+from .lint import lint_file, lint_paths, lint_source
+from .report import RULES, Finding, format_json, format_text, sort_findings
+from .rules import ALL_RULES
+from .cli import run_lint
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "RULES",
+    "format_json",
+    "format_text",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "run_lint",
+    "sort_findings",
+]

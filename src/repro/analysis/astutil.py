@@ -1,0 +1,209 @@
+"""AST helpers shared by the SPMD lint rules.
+
+The helpers encode the vocabulary of the simulated MPI runtime: which method
+names are collective (every rank of the communicator must call them, in the
+same order), which are point-to-point with a user tag, which are one-sided
+window accesses, and what makes an expression *rank-dependent* (its value can
+differ across ranks of the same job, so control flow guarded by it can
+diverge).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+#: Method names that are collective over a communicator.  Calling any of
+#: these under rank-divergent control flow is the classic SPMD deadlock.
+COLLECTIVE_METHODS = frozenset({
+    "barrier", "bcast", "reduce", "allreduce",
+    "gather", "gatherv", "scatter", "scatterv",
+    "allgather", "allgatherv", "alltoall", "alltoallv",
+    "scan", "exscan", "split", "fence", "free",
+})
+
+#: Constructors that are collective calls (``Window(comm, ...)``).
+COLLECTIVE_CONSTRUCTORS = frozenset({"Window"})
+
+#: Point-to-point methods that accept a user ``tag`` and the positional
+#: index of that tag (0-based, excluding ``self``).
+TAGGED_METHODS: dict[str, int] = {
+    "send": 2,
+    "recv": 1,
+    "recv_with_status": 1,
+    "probe": 1,
+    "sendrecv": 3,
+}
+
+#: One-sided accesses on a :class:`repro.runtime.rma.Window`.
+RMA_ACCESS_METHODS = frozenset({
+    "get", "put", "accumulate", "fetch_and_op", "compare_and_swap",
+})
+
+#: ``random`` module attributes that are fine in SPMD code (seeding,
+#: constructing an explicitly-seeded generator, state manipulation).
+_RANDOM_SAFE = frozenset({
+    "seed", "Random", "SystemRandom", "getstate", "setstate",
+})
+_NP_RANDOM_SAFE = frozenset({
+    "seed", "default_rng", "RandomState", "Generator", "SeedSequence",
+    "get_state", "set_state", "BitGenerator", "PCG64", "Philox",
+})
+
+#: Tags at or above this collide with the runtime's collective tag space.
+#: Mirrors ``repro.runtime.fabric._RESERVED_TAG_BASE`` without importing the
+#: runtime (the linter must work on any source tree).
+RESERVED_TAG_BASE = 1 << 30
+
+
+def call_method_name(node: ast.Call) -> str | None:
+    """``obj.meth(...)`` -> ``"meth"``; plain-name calls return None."""
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def call_plain_name(node: ast.Call) -> str | None:
+    """``Name(...)`` -> ``"Name"``; attribute calls return None."""
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    return None
+
+
+def receiver_name(node: ast.Call) -> str | None:
+    """``x.meth(...)`` -> ``"x"`` when the receiver is a simple name."""
+    if isinstance(node.func, ast.Attribute) and isinstance(node.func.value, ast.Name):
+        return node.func.value.id
+    return None
+
+
+def is_collective_call(node: ast.Call) -> str | None:
+    """Return the collective op name if ``node`` is a collective call.
+
+    A collective is either a known method name on any receiver *except* a
+    string literal (``"a,b".split`` is not MPI_Comm_split) or a bare
+    ``Window(...)`` construction.
+    """
+    meth = call_method_name(node)
+    if meth in COLLECTIVE_METHODS:
+        recv = node.func.value  # type: ignore[union-attr]
+        if isinstance(recv, ast.Constant) and isinstance(recv.value, str):
+            return None
+        if isinstance(recv, ast.JoinedStr):
+            return None
+        return meth
+    name = call_plain_name(node)
+    if name in COLLECTIVE_CONSTRUCTORS:
+        return name
+    return None
+
+
+def const_int(node: ast.expr) -> int | None:
+    """Fold an integer constant expression (literals, +,-,*,<<,|)."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, int) \
+            and not isinstance(node.value, bool):
+        return node.value
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        v = const_int(node.operand)
+        return None if v is None else -v
+    if isinstance(node, ast.BinOp):
+        lhs, rhs = const_int(node.left), const_int(node.right)
+        if lhs is None or rhs is None:
+            return None
+        op = node.op
+        if isinstance(op, ast.Add):
+            return lhs + rhs
+        if isinstance(op, ast.Sub):
+            return lhs - rhs
+        if isinstance(op, ast.Mult):
+            return lhs * rhs
+        if isinstance(op, ast.LShift):
+            return lhs << rhs
+        if isinstance(op, ast.BitOr):
+            return lhs | rhs
+        if isinstance(op, ast.Pow) and 0 <= rhs < 64:
+            return lhs ** rhs
+    return None
+
+
+def expr_references_rank(node: ast.expr, tainted: set[str]) -> bool:
+    """Is the expression's value potentially rank-dependent?
+
+    True when it mentions a ``.rank`` attribute (``comm.rank``,
+    ``self.rank``, ``grid.comm.rank``) or any name in ``tainted`` — the set
+    of local variables assigned from rank-dependent expressions.
+    """
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and sub.attr == "rank":
+            return True
+        if isinstance(sub, ast.Name) and sub.id in tainted:
+            return True
+    return False
+
+
+def rank_tainted_names(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Local names assigned (directly or transitively) from ``.rank``.
+
+    A single forward pass over the function body in source order; enough for
+    the ``rank = comm.rank`` / ``row = rank // pc`` idiom the lint targets.
+    """
+    tainted: set[str] = set()
+    for arg in fn.args.args + fn.args.kwonlyargs:
+        if arg.arg == "rank":
+            tainted.add(arg.arg)
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign) and expr_references_rank(node.value, tainted):
+            for tgt in node.targets:
+                for sub in ast.walk(tgt):
+                    if isinstance(sub, ast.Name):
+                        tainted.add(sub.id)
+        elif isinstance(node, ast.AugAssign) and isinstance(node.target, ast.Name):
+            if expr_references_rank(node.value, tainted):
+                tainted.add(node.target.id)
+    return tainted
+
+
+def is_spmd_function(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """Heuristic: does this function execute on every rank of an SPMD job?
+
+    True when a parameter looks like a communicator (named ``comm`` or
+    ``*comm``), when the body touches a ``.rank`` attribute, or when it
+    makes any collective call.  Functions outside this set (pure local
+    kernels, CLI glue) are exempt from the SPMD rules.
+    """
+    for arg in fn.args.args + fn.args.kwonlyargs + fn.args.posonlyargs:
+        if arg.arg == "comm" or arg.arg.endswith("comm"):
+            return True
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Attribute) and node.attr == "rank":
+            return True
+        if isinstance(node, ast.Call) and is_collective_call(node):
+            return True
+    return False
+
+
+def collectives_in(nodes: list[ast.stmt]) -> list[tuple[str, ast.Call]]:
+    """All collective calls in a statement list, in source order, skipping
+    nested function/class definitions (their bodies run in their own SPMD
+    context, if any)."""
+    out: list[tuple[str, ast.Call]] = []
+
+    def visit(node: ast.AST) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)):
+            return
+        if isinstance(node, ast.Call):
+            op = is_collective_call(node)
+            if op is not None:
+                out.append((op, node))
+        for child in ast.iter_child_nodes(node):
+            visit(child)
+
+    for stmt in nodes:
+        visit(stmt)
+    return sorted(out, key=lambda item: (item[1].lineno, item[1].col_offset))
+
+
+def walk_functions(tree: ast.AST) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node

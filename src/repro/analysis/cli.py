@@ -1,0 +1,31 @@
+"""``repro lint`` — the CLI face of the static SPMD analyzer.
+
+Kept separate from :mod:`repro.cli` so the linter stays importable without
+pulling in NumPy-heavy packages, and testable without argparse plumbing.
+Exit status follows lint convention: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .lint import lint_paths
+from .report import format_json, format_text
+
+
+def run_lint(
+    paths: Sequence[str],
+    exclude: Sequence[str] = (),
+    fmt: str = "text",
+) -> int:
+    """Lint ``paths``, print a report, and return the process exit code."""
+    try:
+        findings = lint_paths(paths, exclude=exclude)
+    except FileNotFoundError as exc:
+        print(f"repro lint: {exc}")
+        return 2
+    if fmt == "json":
+        print(format_json(findings))
+    else:
+        print(format_text(findings))
+    return 1 if findings else 0

@@ -1,0 +1,277 @@
+"""The SPMD lint rules.
+
+Every rule is a function ``rule(tree, path) -> list[Finding]`` over a parsed
+module.  The catalogue mirrors the failure classes of the paper's MCM-DIST:
+
+SPMD101
+    A rank-dependent ``if`` whose branches contain *different* collective
+    sequences.  Under MPI semantics every rank of a communicator must enter
+    the same collectives in the same order; divergence deadlocks (bcast vs
+    nothing) or silently exchanges garbage (bcast vs reduce at p=2).
+SPMD102
+    A collective inside a loop whose trip count is rank-dependent
+    (``for i in range(comm.rank)``): ranks run different numbers of
+    collective rounds, which is the same divergence one level up.
+SPMD201
+    A constant user tag at or above the reserved collective tag base
+    (1 << 30): the message would masquerade as collective traffic.
+SPMD301
+    A one-sided ``get``/``put``/``accumulate``/``fetch_and_op`` on a window
+    outside the ``fence`` epoch discipline visible in the function
+    (before the first fence, after ``free``, or with no fence at all).
+SPMD401
+    An unseeded random source inside an SPMD function: ranks draw
+    uncorrelated streams, so "identical" replicated computations diverge —
+    the nondeterminism hazard the paper's deterministic semirings avoid.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .astutil import (
+    RESERVED_TAG_BASE,
+    RMA_ACCESS_METHODS,
+    TAGGED_METHODS,
+    _NP_RANDOM_SAFE,
+    _RANDOM_SAFE,
+    call_method_name,
+    call_plain_name,
+    collectives_in,
+    const_int,
+    expr_references_rank,
+    is_spmd_function,
+    rank_tainted_names,
+    receiver_name,
+    walk_functions,
+)
+from .report import Finding
+
+
+def _stmts_in(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> list[ast.stmt]:
+    out: list[ast.stmt] = []
+
+    def visit(stmts: list[ast.stmt]) -> None:
+        for stmt in stmts:
+            out.append(stmt)
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            for field in ("body", "orelse", "finalbody"):
+                sub = getattr(stmt, field, None)
+                if sub:
+                    visit(sub)
+            for handler in getattr(stmt, "handlers", []) or []:
+                visit(handler.body)
+
+    visit(fn.body)
+    return out
+
+
+def rule_collective_divergence(tree: ast.AST, path: str) -> list[Finding]:
+    """SPMD101 + SPMD102: collectives under rank-divergent control flow."""
+    findings: list[Finding] = []
+    for fn in walk_functions(tree):
+        if not is_spmd_function(fn):
+            continue
+        tainted = rank_tainted_names(fn)
+        for stmt in _stmts_in(fn):
+            if isinstance(stmt, ast.If) and expr_references_rank(stmt.test, tainted):
+                seq_if = collectives_in(stmt.body)
+                seq_else = collectives_in(stmt.orelse)
+                ops_if = [op for op, _ in seq_if]
+                ops_else = [op for op, _ in seq_else]
+                if ops_if != ops_else:
+                    anchor = (seq_if or seq_else)[0][1]
+                    findings.append(Finding(
+                        path, anchor.lineno, anchor.col_offset, "SPMD101",
+                        "collective sequence diverges across rank-dependent "
+                        f"branches (line {stmt.lineno}): if-branch enters "
+                        f"{ops_if or ['nothing']}, else-branch enters "
+                        f"{ops_else or ['nothing']}; every rank must enter the "
+                        "same collectives in the same order",
+                        function=fn.name,
+                    ))
+            elif isinstance(stmt, (ast.While, ast.For)):
+                bound = stmt.test if isinstance(stmt, ast.While) else stmt.iter
+                if not expr_references_rank(bound, tainted):
+                    continue
+                inner = collectives_in(stmt.body)
+                if inner:
+                    op, call = inner[0]
+                    findings.append(Finding(
+                        path, call.lineno, call.col_offset, "SPMD102",
+                        f"collective '{op}' inside a loop bounded by "
+                        f"rank-dependent data (loop at line {stmt.lineno}): "
+                        "ranks may execute different numbers of collective "
+                        "rounds",
+                        function=fn.name,
+                    ))
+    return findings
+
+
+def _tag_expr(call: ast.Call, meth: str) -> ast.expr | None:
+    for kw in call.keywords:
+        if kw.arg == "tag":
+            return kw.value
+    pos = TAGGED_METHODS[meth]
+    if len(call.args) > pos:
+        return call.args[pos]
+    return None
+
+
+def rule_reserved_tag(tree: ast.AST, path: str) -> list[Finding]:
+    """SPMD201: constant user tags in the reserved collective tag space."""
+    findings: list[Finding] = []
+
+    def visit(node: ast.AST, function: str) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            function = node.name
+        if isinstance(node, ast.Call):
+            meth = call_method_name(node)
+            if meth in TAGGED_METHODS:
+                tag_node = _tag_expr(node, meth)
+                value = const_int(tag_node) if tag_node is not None else None
+                if value is not None and value >= RESERVED_TAG_BASE:
+                    findings.append(Finding(
+                        path, tag_node.lineno, tag_node.col_offset, "SPMD201",
+                        f"user tag {value} in '{meth}' is >= the reserved collective "
+                        f"tag base ({RESERVED_TAG_BASE}): the runtime reserves that "
+                        "space for collective traffic and rejects it with CommError",
+                        function=function,
+                    ))
+        for child in ast.iter_child_nodes(node):
+            visit(child, function)
+
+    visit(tree, "")
+    return findings
+
+
+def rule_rma_epoch(tree: ast.AST, path: str) -> list[Finding]:
+    """SPMD301: window accesses outside the visible fence epoch."""
+    findings: list[Finding] = []
+    for fn in walk_functions(tree):
+        windows: dict[str, ast.Call] = {}
+        fences: dict[str, int] = {}
+        frees: dict[str, int] = {}
+        accesses: dict[str, list[tuple[str, ast.Call]]] = {}
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call) \
+                    and call_plain_name(node.value) == "Window":
+                for tgt in node.targets:
+                    if isinstance(tgt, ast.Name):
+                        windows[tgt.id] = node.value
+            elif isinstance(node, ast.Call):
+                recv = receiver_name(node)
+                meth = call_method_name(node)
+                if recv is None or meth is None:
+                    continue
+                if meth == "fence":
+                    fences[recv] = min(fences.get(recv, node.lineno), node.lineno)
+                elif meth == "free":
+                    frees[recv] = min(frees.get(recv, node.lineno), node.lineno)
+                elif meth in RMA_ACCESS_METHODS:
+                    accesses.setdefault(recv, []).append((meth, node))
+        for name in windows:
+            for meth, call in accesses.get(name, []):
+                if name not in fences:
+                    findings.append(Finding(
+                        path, call.lineno, call.col_offset, "SPMD301",
+                        f"'{name}.{meth}' without any '{name}.fence()' in this "
+                        "function: one-sided accesses need a documented epoch "
+                        "(fence ... access ... fence)",
+                        function=fn.name,
+                    ))
+                elif call.lineno < fences[name]:
+                    findings.append(Finding(
+                        path, call.lineno, call.col_offset, "SPMD301",
+                        f"'{name}.{meth}' before the first '{name}.fence()' "
+                        f"(line {fences[name]}): the access epoch is not open "
+                        "yet",
+                        function=fn.name,
+                    ))
+                elif name in frees and call.lineno > frees[name]:
+                    findings.append(Finding(
+                        path, call.lineno, call.col_offset, "SPMD301",
+                        f"'{name}.{meth}' after '{name}.free()' "
+                        f"(line {frees[name]}): the window no longer exists",
+                        function=fn.name,
+                    ))
+    return findings
+
+
+def _module_seeds(tree: ast.AST) -> bool:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and _is_seed_call(node):
+            return True
+    return False
+
+
+def _is_seed_call(node: ast.Call) -> bool:
+    f = node.func
+    if isinstance(f, ast.Attribute) and f.attr == "seed":
+        return True
+    return False
+
+
+def _random_hazard(node: ast.Call) -> str | None:
+    """Name of the unseeded random source used, or None."""
+    f = node.func
+    # random.<fn>(...)
+    if isinstance(f, ast.Attribute) and isinstance(f.value, ast.Name) \
+            and f.value.id == "random" and f.attr not in _RANDOM_SAFE:
+        return f"random.{f.attr}"
+    # np.random.<fn>(...) / numpy.random.<fn>(...)
+    if isinstance(f, ast.Attribute) and isinstance(f.value, ast.Attribute) \
+            and f.value.attr == "random" \
+            and isinstance(f.value.value, ast.Name) \
+            and f.value.value.id in ("np", "numpy"):
+        if f.attr not in _NP_RANDOM_SAFE:
+            return f"{f.value.value.id}.random.{f.attr}"
+        if f.attr in ("default_rng", "RandomState") and not node.args and not node.keywords:
+            return f"{f.value.value.id}.random.{f.attr}()"
+    # bare default_rng() with no seed
+    if isinstance(f, ast.Name) and f.id == "default_rng" \
+            and not node.args and not node.keywords:
+        return "default_rng()"
+    return None
+
+
+def rule_unseeded_random(tree: ast.AST, path: str) -> list[Finding]:
+    """SPMD401: unseeded random sources inside SPMD functions."""
+    findings: list[Finding] = []
+    module_seeded = _module_seeds(tree)
+    if module_seeded:
+        return findings
+    for fn in walk_functions(tree):
+        if not is_spmd_function(fn):
+            continue
+        seed_lines = [
+            n.lineno for n in ast.walk(fn)
+            if isinstance(n, ast.Call) and _is_seed_call(n)
+        ]
+        first_seed = min(seed_lines) if seed_lines else None
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            hazard = _random_hazard(node)
+            if hazard is None:
+                continue
+            if first_seed is not None and node.lineno > first_seed:
+                continue
+            findings.append(Finding(
+                path, node.lineno, node.col_offset, "SPMD401",
+                f"unseeded '{hazard}' in an SPMD function: each rank draws "
+                "an independent stream, so replicated computations diverge; "
+                "seed explicitly (e.g. np.random.default_rng(seed))",
+                function=fn.name,
+            ))
+    return findings
+
+
+#: The rule registry, in report order.
+ALL_RULES = (
+    rule_collective_divergence,
+    rule_reserved_tag,
+    rule_rma_epoch,
+    rule_unseeded_random,
+)

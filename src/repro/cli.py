@@ -16,7 +16,13 @@ Commands
 
 ``spmd``
     Run the true SPMD MCM-DIST on a simulated process grid and report
-    per-rank communication statistics.
+    per-rank communication statistics.  ``--verify`` arms the dynamic
+    correctness verifiers (collective-divergence and RMA-race detection).
+
+``lint``
+    Statically analyze Python sources for SPMD correctness hazards:
+    collectives under rank-divergent control flow, reserved user tags,
+    RMA accesses outside fence epochs, unseeded per-rank randomness.
 """
 
 from __future__ import annotations
@@ -114,13 +120,26 @@ def cmd_spmd(args) -> int:
     mate_r, mate_c, stats = run_mcm_dist(
         coo, args.pr, args.pc,
         init=args.init if args.init in ("greedy", "mindegree") else "none",
+        verify=args.verify,
     )
     card = int((mate_r != -1).sum())
     print(f"grid {args.pr}x{args.pc}: matched {card:,} "
           f"(init {stats.initial_cardinality:,}), {stats.phases} phases, "
           f"{stats.iterations} iterations, augment level/path = "
           f"{stats.augment_level_calls}/{stats.augment_path_calls}")
+    if args.verify:
+        vs = stats.verify_summary or {}
+        print(f"verification: PASSED — {vs.get('collectives_checked', 0):,} "
+              f"collective entries cross-checked, "
+              f"{vs.get('rma_ops_checked', 0):,} one-sided accesses "
+              f"race-checked, no divergence or races")
     return 0
+
+
+def cmd_lint(args) -> int:
+    from .analysis import run_lint
+
+    return run_lint(args.paths, exclude=args.exclude, fmt=args.format)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -161,7 +180,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--pr", type=int, default=2)
     p.add_argument("--pc", type=int, default=2)
     p.add_argument("--init", default="greedy", choices=["greedy", "mindegree", "none"])
+    p.add_argument("--verify", action="store_true",
+                   help="arm the dynamic verifiers: cross-check every collective "
+                        "entry across ranks and race-check every RMA access")
     p.set_defaults(fn=cmd_spmd)
+
+    p = sub.add_parser("lint", help="static SPMD correctness analysis")
+    p.add_argument("paths", nargs="+", help=".py files or directory trees")
+    p.add_argument("--exclude", action="append", default=[], metavar="PATH",
+                   help="file or directory to skip (repeatable)")
+    p.add_argument("--format", default="text", choices=["text", "json"])
+    p.set_defaults(fn=cmd_lint)
     return parser
 
 

@@ -22,7 +22,7 @@ import numpy as np
 
 from ..runtime.comm import Communicator
 from ..sparse.semiring import SR_MIN_PARENT, Semiring, reduce_candidates
-from .distvec import DistDenseVec, DistVertexFrontier, make_vecmap, owner_ranks
+from .distvec import DistDenseVec, DistVertexFrontier, make_vecmap
 from .spmat import DistSparseMatrix
 
 

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..runtime.comm import Communicator
 from ..sparse.coo import COO
 from ..sparse.dcsc import DCSC
 from .grid import ProcGrid

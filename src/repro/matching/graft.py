@@ -33,7 +33,7 @@ import numpy as np
 from ..sparse.csc import CSC, ragged_gather
 from ..sparse.semiring import SR_MIN_PARENT, Semiring, reduce_candidates
 from ..sparse.spvec import NULL, VertexFrontier
-from .augment import AugmentStats, augment_auto
+from .augment import augment_auto
 from .msbfs import MatchingStats
 
 

@@ -37,7 +37,7 @@ from ..distmat.grid import ProcGrid
 from ..distmat.ops import allgather_values, invert_route, route, spmv
 from ..distmat.spmat import DistSparseMatrix
 from ..runtime import Window, spmd
-from ..runtime.comm import LOR, SUM, Communicator
+from ..runtime.comm import SUM, Communicator
 from ..sparse.coo import COO
 from ..sparse.semiring import SR_MIN_PARENT, Semiring
 from ..sparse.spvec import NULL
@@ -54,6 +54,8 @@ class DistStats:
     augment_path_calls: int = 0
     initial_cardinality: int = 0
     final_cardinality: int = 0
+    #: filled by :func:`run_mcm_dist` when the job ran with ``verify=True``
+    verify_summary: "dict[str, int] | None" = None
 
 
 # ---------------------------------------------------------------------------
@@ -436,11 +438,14 @@ def run_mcm_dist(
     prune: bool = True,
     augment: str = "auto",
     timeout: float = 120.0,
+    verify: bool = False,
 ) -> tuple[np.ndarray, np.ndarray, DistStats]:
     """Launch MCM-DIST on a simulated pr × pc process grid.
 
     The matrix starts on rank 0 and is scattered; the returned mate vectors
     are the globally assembled result (identical on every rank).
+    ``verify=True`` arms the runtime's collective-divergence and RMA-race
+    verifiers for the whole job (``repro spmd --verify``).
     """
 
     def main(comm: Communicator):
@@ -450,6 +455,7 @@ def run_mcm_dist(
             init=init, semiring=semiring, prune=prune, augment=augment,
         )
 
-    result = spmd(pr * pc, main, timeout=timeout)
+    result = spmd(pr * pc, main, timeout=timeout, verify=verify)
     mate_r, mate_c, stats = result[0]
+    stats.verify_summary = result.verify_summary
     return mate_r, mate_c, stats

@@ -31,11 +31,12 @@ from .errors import (
     CommError,
     CollectiveMismatchError,
     DeadlockError,
+    RmaRaceError,
     WindowError,
 )
-from .fabric import Fabric, ANY_SOURCE, ANY_TAG
+from .fabric import CollectiveTrace, Fabric, ANY_SOURCE, ANY_TAG
 from .comm import Communicator, CommStats, ReduceOp, MIN, MAX, SUM, PROD, LAND, LOR, BAND, BOR
-from .rma import Window
+from .rma import RmaAccessLog, Window
 from .executor import spmd, SpmdResult
 
 __all__ = [
@@ -44,6 +45,7 @@ __all__ = [
     "BAND",
     "BOR",
     "CollectiveMismatchError",
+    "CollectiveTrace",
     "CommAbort",
     "CommError",
     "CommStats",
@@ -56,8 +58,11 @@ __all__ = [
     "MIN",
     "PROD",
     "ReduceOp",
+    "RmaAccessLog",
+    "RmaRaceError",
     "SUM",
     "SpmdResult",
     "Window",
+    "WindowError",
     "spmd",
 ]

@@ -31,7 +31,7 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from .errors import CollectiveMismatchError
+from .errors import CollectiveMismatchError, CommError
 from .fabric import ANY_SOURCE, ANY_TAG, Fabric, _RESERVED_TAG_BASE
 
 
@@ -90,6 +90,32 @@ def _payload_words(payload: Any) -> int:
     return 1
 
 
+def _payload_sig(payload: Any) -> tuple:
+    """Canonical payload signature for the collective-trace checker.
+
+    NumPy arrays compare by (dtype, shape) — mismatched shapes in a
+    reduction combine garbage.  All numeric scalars canonicalize to one
+    bucket: ``int`` on one rank vs ``np.int64`` on another is legitimate.
+    """
+    if isinstance(payload, np.ndarray):
+        return ("ndarray", str(payload.dtype), tuple(payload.shape))
+    if isinstance(payload, (bool, int, float, complex, np.generic)):
+        return ("scalar",)
+    return (type(payload).__name__,)
+
+
+def _check_user_tag(tag: int, *, wildcard_ok: bool) -> None:
+    """Reject user tags that collide with the reserved collective space."""
+    if wildcard_ok and tag == ANY_TAG:
+        return
+    if not 0 <= tag < _RESERVED_TAG_BASE:
+        raise CommError(
+            f"user tag {tag} is outside the valid range [0, {_RESERVED_TAG_BASE}): "
+            f"tags >= {_RESERVED_TAG_BASE} (1 << 30) are reserved for collective "
+            "operations" + (" and negative tags are not wildcards here" if tag < 0 else "")
+        )
+
+
 def _freeze(payload: Any) -> Any:
     """Copy a payload at send time so sender-side mutation after ``send``
     returns can never be observed by the receiver (wire semantics)."""
@@ -122,7 +148,6 @@ class Communicator:
         self.size = len(self.group)
         self.stats = CommStats()
         self._coll_seq = 0
-        self._split_seq = 0
         if self.group[rank] < 0 or self.group[rank] >= fabric.nranks:
             raise ValueError("communicator group contains out-of-range fabric rank")
 
@@ -138,8 +163,7 @@ class Communicator:
         Buffered semantics: the call returns once the (copied) payload is in
         flight, it never blocks on the receiver.
         """
-        if not 0 <= tag < _RESERVED_TAG_BASE:
-            raise ValueError(f"user tag {tag} outside [0, {_RESERVED_TAG_BASE})")
+        _check_user_tag(tag, wildcard_ok=False)
         self._send_raw(dest, _freeze(payload), tag, "p2p")
 
     def _send_raw(self, dest: int, payload: Any, tag: int, op: str) -> None:
@@ -149,12 +173,14 @@ class Communicator:
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
         """Block until a message matching (source, tag) arrives; return its
         payload.  ``source`` is a communicator rank or ``ANY_SOURCE``."""
+        _check_user_tag(tag, wildcard_ok=True)
         src_global = ANY_SOURCE if source == ANY_SOURCE else self.group[source]
         env = self.fabric.collect(self.global_rank, src_global, tag)
         return env.payload
 
     def recv_with_status(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> tuple[Any, int, int]:
         """Like :meth:`recv` but also return ``(payload, source_rank, tag)``."""
+        _check_user_tag(tag, wildcard_ok=True)
         src_global = ANY_SOURCE if source == ANY_SOURCE else self.group[source]
         env = self.fabric.collect(self.global_rank, src_global, tag)
         try:
@@ -164,6 +190,7 @@ class Communicator:
         return env.payload, src_local, env.tag
 
     def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        _check_user_tag(tag, wildcard_ok=True)
         src_global = ANY_SOURCE if source == ANY_SOURCE else self.group[source]
         return self.fabric.probe(self.global_rank, src_global, tag)
 
@@ -211,11 +238,24 @@ class Communicator:
         self._coll_seq += 1
         return self._coll_seq
 
+    def _verify(self, op: str, seq: int, root: int | None = None, extra: tuple | None = None) -> None:
+        """Record this rank's entry into a collective with the divergence
+        checker (active only under ``spmd(..., verify=True)``).
+
+        Raises :class:`CollectiveMismatchError` immediately when this rank's
+        n-th collective disagrees with a peer's n-th collective — op, root,
+        or (for reductions) operator/payload signature.
+        """
+        trace = self.fabric.collective_trace
+        if trace is not None:
+            trace.record(self.comm_id, seq, self.rank, self.size, (op, root, extra))
+
     # -- collectives ----------------------------------------------------------
 
     def barrier(self) -> None:
         """Dissemination barrier: ⌈log₂p⌉ rounds."""
         seq = self._next_seq()
+        self._verify("barrier", seq)
         p, r = self.size, self.rank
         k = 1
         while k < p:
@@ -227,6 +267,7 @@ class Communicator:
         """Binomial-tree broadcast from ``root``; returns the payload on all
         ranks (a private copy on each non-root rank)."""
         seq = self._next_seq()
+        self._verify("bcast", seq, root=root)
         p = self.size
         # Rotate so the root is virtual rank 0 (MPICH binomial algorithm).
         vr = (self.rank - root) % p
@@ -253,6 +294,7 @@ class Communicator:
         """Direct gather: every rank sends its payload to ``root``; root
         returns the list ordered by rank, others return ``None``."""
         seq = self._next_seq()
+        self._verify("gather", seq, root=root)
         if self.rank == root:
             out: list[Any] = [None] * self.size
             out[root] = _freeze(payload)
@@ -276,6 +318,7 @@ class Communicator:
     def scatter(self, payloads: Sequence[Any] | None, root: int = 0) -> Any:
         """Root distributes ``payloads[i]`` to rank ``i``; returns own piece."""
         seq = self._next_seq()
+        self._verify("scatter", seq, root=root)
         if self.rank == root:
             if payloads is None or len(payloads) != self.size:
                 raise ValueError("scatter root must supply one payload per rank")
@@ -289,6 +332,7 @@ class Communicator:
         """Ring allgather: p-1 steps, each forwarding the block received in
         the previous step.  Returns the list of payloads ordered by rank."""
         seq = self._next_seq()
+        self._verify("allgather", seq)
         p, r = self.size, self.rank
         out: list[Any] = [None] * p
         out[r] = _freeze(payload)
@@ -319,6 +363,7 @@ class Communicator:
                 f"alltoall needs exactly {self.size} payloads, got {len(payloads)}"
             )
         seq = self._next_seq()
+        self._verify("alltoall", seq)
         p, r = self.size, self.rank
         out: list[Any] = [None] * p
         out[r] = _freeze(payloads[r])
@@ -337,6 +382,7 @@ class Communicator:
         """Binomial-tree reduction to ``root``; returns the reduced value at
         root and ``None`` elsewhere."""
         seq = self._next_seq()
+        self._verify("reduce", seq, root=root, extra=(op.name,) + _payload_sig(payload))
         p = self.size
         vr = (self.rank - root) % p
         acc = _freeze(payload)
@@ -364,6 +410,7 @@ class Communicator:
         receives op-fold of payloads from ranks 0..i-1.
         """
         seq = self._next_seq()
+        self._verify("exscan", seq, extra=(op.name,) + _payload_sig(payload))
         prefix = None
         if self.rank > 0:
             prefix = self._coll_recv(self.rank - 1, "exscan", seq)
@@ -384,12 +431,16 @@ class Communicator:
 
         All ranks with equal ``color`` land in the same new communicator,
         ordered by ``(key, old rank)``.  Like ``MPI_Comm_split``, this is a
-        collective over the parent communicator.
+        collective over the parent communicator, so it consumes a slot of
+        the same per-rank collective sequence the tagged collectives use —
+        which is what lets the divergence checker catch a rank calling
+        ``split`` while its peers are in ``bcast``.
         """
-        self._split_seq += 1
+        seq = self._next_seq()
+        self._verify("split", seq)
         key = self.rank if key is None else key
         new_id, members_parent_ranks = self.fabric.split_rendezvous(
-            self.comm_id, self._split_seq, self.size, self.rank, color, key
+            self.comm_id, seq, self.size, self.rank, color, key
         )
         group = [self.group[r] for r in members_parent_ranks]
         my_pos = members_parent_ranks.index(self.rank)

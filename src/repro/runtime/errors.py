@@ -32,6 +32,17 @@ class WindowError(CommError):
     outside an epoch."""
 
 
+class RmaRaceError(WindowError):
+    """Two conflicting one-sided accesses with no synchronization between.
+
+    Raised by the RMA race detector (``spmd(..., verify=True)``) when two
+    ranks touch overlapping window elements inside the same access epoch,
+    at least one is a write, and the pair is not atomic-atomic — the MPI
+    conditions under which the result is undefined.  The message names both
+    conflicting accesses (rank, operation, target, indices).
+    """
+
+
 class CommAbort(CommError):
     """Raised inside surviving ranks after another rank died.
 

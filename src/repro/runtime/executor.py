@@ -32,6 +32,9 @@ class SpmdResult:
     values: list[Any]
     stats: list[CommStats]
     nranks: int = 0
+    #: Verification counters when the job ran with ``verify=True``
+    #: (``{"collectives_checked": ..., "rma_ops_checked": ...}``), else None.
+    verify_summary: "dict[str, int] | None" = None
 
     def __post_init__(self) -> None:
         self.nranks = len(self.values)
@@ -69,6 +72,7 @@ def spmd(
     fn: Callable[..., Any],
     *args: Any,
     timeout: float = 60.0,
+    verify: bool = False,
     **kwargs: Any,
 ) -> SpmdResult:
     """Run ``fn(comm, *args, **kwargs)`` on ``nranks`` simulated ranks.
@@ -82,6 +86,15 @@ def spmd(
         :class:`~repro.runtime.comm.Communicator`.
     timeout:
         Deadlock-detection window in seconds for blocking calls.
+    verify:
+        Arm the dynamic correctness verifiers: every collective entry is
+        cross-checked against its peers' signatures (op, root, reduction
+        operator, payload dtype/shape) raising
+        :class:`CollectiveMismatchError` with a precise diff on divergence,
+        and every one-sided window access is race-checked, raising
+        :class:`~repro.runtime.errors.RmaRaceError` naming both conflicting
+        accesses.  Costs one dict lookup per collective and one log scan per
+        RMA op; off by default.
 
     Returns
     -------
@@ -95,7 +108,7 @@ def spmd(
     exception chaining.  Secondary :class:`CommAbort` errors in other
     ranks (caused by the abort) are suppressed.
     """
-    fabric = Fabric(nranks, timeout=timeout)
+    fabric = Fabric(nranks, timeout=timeout, verify=verify)
     comms = [Communicator(fabric, comm_id=0, group=range(nranks), rank=r) for r in range(nranks)]
     outcomes = [_RankOutcome() for _ in range(nranks)]
 
@@ -153,7 +166,25 @@ def spmd(
                 f"message(s) {stray[:4]}: ranks entered mismatched collectives"
             )
 
+    verify_summary = None
+    if fabric.collective_trace is not None:
+        # Same-signature collectives that only a strict subset of ranks
+        # entered would have deadlocked or left stray messages above, but a
+        # root-completes-first pattern can slip through both; the trace
+        # holds the authoritative per-rank entry counts.
+        unfinished = fabric.collective_trace.incomplete()
+        if unfinished:
+            raise CollectiveMismatchError(
+                "job finished with collectives not entered by every rank: "
+                + "; ".join(unfinished[:4])
+            )
+        verify_summary = {
+            "collectives_checked": fabric.collective_trace.checked,
+            "rma_ops_checked": fabric.rma_ops_checked(),
+        }
+
     return SpmdResult(
         values=[oc.value for oc in outcomes],
         stats=[c.stats for c in comms],
+        verify_summary=verify_summary,
     )

@@ -24,7 +24,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any
 
-from .errors import CommAbort, DeadlockError
+from .errors import CollectiveMismatchError, CommAbort, DeadlockError
 
 #: Wildcard selector accepted by ``recv``: match a message from any source.
 ANY_SOURCE = -1
@@ -124,6 +124,72 @@ class Mailbox:
             self._cond.notify_all()
 
 
+def _describe_signature(sig: tuple) -> str:
+    """Human form of a collective signature tuple ``(op, root, extra)``."""
+    op, root, extra = sig
+    parts = []
+    if root is not None:
+        parts.append(f"root={root}")
+    if extra is not None:
+        parts.append(f"args={extra}")
+    return f"{op}({', '.join(parts)})" if parts else op
+
+
+class CollectiveTrace:
+    """The dynamic collective-divergence checker (``verify=True`` mode).
+
+    Every collective call records a per-rank signature tuple
+    ``(op, root, extra)`` keyed by ``(comm_id, seq)`` — the communicator and
+    its per-rank collective-call counter.  Because correct SPMD programs
+    enter collectives in the same order on every rank of a communicator, the
+    n-th collective of one rank must match the n-th collective of its peers:
+    the first rank to arrive sets the reference signature and any later
+    arrival that disagrees raises :class:`CollectiveMismatchError` with a
+    precise diff — instead of the deadlock timeout (mismatched blocking
+    pattern) or silent garbage exchange (mismatched but non-blocking
+    pattern) the program would otherwise produce.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        # (comm_id, seq) -> [first_rank, signature, arrived, expected]
+        self._pending: dict[tuple[int, int], list] = {}
+        self.checked = 0
+
+    def record(
+        self, comm_id: int, seq: int, rank: int, comm_size: int, signature: tuple
+    ) -> None:
+        key = (comm_id, seq)
+        with self._lock:
+            self.checked += 1
+            entry = self._pending.get(key)
+            if entry is None:
+                self._pending[key] = [rank, signature, 1, comm_size]
+                return
+            first_rank, first_sig, arrived, expected = entry
+            if signature != first_sig:
+                raise CollectiveMismatchError(
+                    f"collective divergence on communicator {comm_id}, "
+                    f"collective call #{seq}: rank {first_rank} entered "
+                    f"{_describe_signature(first_sig)} but rank {rank} entered "
+                    f"{_describe_signature(signature)}; all ranks of a "
+                    "communicator must enter the same collective sequence"
+                )
+            entry[2] = arrived + 1
+            if entry[2] >= expected:
+                del self._pending[key]
+
+    def incomplete(self) -> list[str]:
+        """Collectives some ranks entered but others never did (job ended)."""
+        with self._lock:
+            return [
+                f"comm {comm_id} call #{seq}: {_describe_signature(sig)} "
+                f"entered by {arrived}/{expected} ranks (first: rank {first_rank})"
+                for (comm_id, seq), (first_rank, sig, arrived, expected)
+                in sorted(self._pending.items())
+            ]
+
+
 @dataclass
 class _SplitTable:
     """Rendezvous state for one ``Communicator.split`` call."""
@@ -137,11 +203,17 @@ class _SplitTable:
 class Fabric:
     """Shared interconnect for one SPMD job of ``nranks`` simulated ranks."""
 
-    def __init__(self, nranks: int, timeout: float = 60.0) -> None:
+    def __init__(self, nranks: int, timeout: float = 60.0, verify: bool = False) -> None:
         if nranks < 1:
             raise ValueError(f"nranks must be >= 1, got {nranks}")
         self.nranks = nranks
         self.timeout = timeout
+        #: When True the dynamic verifiers are armed: every collective call
+        #: is checked against its peers' signatures and every one-sided
+        #: window access is race-checked (see ``spmd(..., verify=True)``).
+        self.verify = verify
+        self.collective_trace = CollectiveTrace() if verify else None
+        self._rma_logs: dict[int, Any] = {}
         self.mailboxes = [Mailbox(self, r) for r in range(nranks)]
         self._abort = threading.Event()
         self._serial = itertools.count()
@@ -245,3 +317,17 @@ class Fabric:
     def drop_window(self, win_id: int) -> None:
         with self._window_lock:
             self._windows.pop(win_id, None)
+            # _rma_logs entries survive the drop: the fabric is per-job, and
+            # the verify summary reports totals across freed windows too.
+
+    def rma_log_for(self, win_id: int, factory) -> Any:
+        """Shared per-window access log (verify mode); created on first use."""
+        with self._window_lock:
+            log = self._rma_logs.get(win_id)
+            if log is None:
+                log = self._rma_logs[win_id] = factory()
+            return log
+
+    def rma_ops_checked(self) -> int:
+        with self._window_lock:
+            return sum(log.total for log in self._rma_logs.values())

@@ -25,15 +25,98 @@ from __future__ import annotations
 
 import itertools
 import threading
+from dataclasses import dataclass
 from typing import Any
 
 import numpy as np
 
 from .comm import Communicator
-from .errors import WindowError
+from .errors import RmaRaceError, WindowError
 
 _window_ids = itertools.count(1)
 _window_id_lock = threading.Lock()
+
+
+@dataclass(frozen=True)
+class _Access:
+    """One logged one-sided access (verify mode)."""
+
+    origin: int
+    op: str
+    target: int
+    idx: np.ndarray  # sorted unique element indices touched
+    write: bool
+    atomic: bool
+    epoch: int
+
+    def describe(self) -> str:
+        lo, hi = (int(self.idx[0]), int(self.idx[-1])) if self.idx.size else (-1, -1)
+        span = f"[{lo}]" if lo == hi else f"[{lo}..{hi}] ({self.idx.size} elems)"
+        kind = "atomic " if self.atomic else ""
+        return (f"rank {self.origin}: {kind}{self.op} on target {self.target}"
+                f"{span} in epoch {self.epoch}")
+
+
+class RmaAccessLog:
+    """The dynamic RMA race detector for one window (``verify=True`` mode).
+
+    Shared by all rank-local :class:`Window` objects of the same window id.
+    Each access is logged as ``(origin, op, target, indices, write, atomic)``
+    tagged with the origin's *epoch* — the count of ``fence`` calls it has
+    made on this window.  Because ``fence`` is a barrier, epochs are globally
+    aligned, and MPI's passive/active-target rules reduce to: two accesses
+    from different origins that overlap on the same target's elements within
+    the same epoch are a race unless both are atomic or both are reads.
+    Detection happens at access time — the second access of a conflicting
+    pair raises :class:`RmaRaceError` naming both — instead of the silent
+    lost-update the program would otherwise produce.
+    """
+
+    def __init__(self, win_id: int, nranks: int) -> None:
+        self.win_id = win_id
+        self._lock = threading.Lock()
+        self._epoch = [0] * nranks
+        self._entries: list[_Access] = []
+        self.total = 0
+
+    def advance(self, rank: int) -> None:
+        """Called by ``fence``: open the next epoch for ``rank`` and prune
+        entries no rank can conflict with anymore."""
+        with self._lock:
+            self._epoch[rank] += 1
+            low = min(self._epoch)
+            self._entries = [e for e in self._entries if e.epoch >= low]
+
+    def record(
+        self, origin: int, op: str, target: int, index: Any,
+        *, write: bool, atomic: bool,
+    ) -> None:
+        idx = np.unique(np.atleast_1d(np.asarray(index, dtype=np.int64)))
+        with self._lock:
+            epoch = self._epoch[origin]
+            mine = _Access(origin, op, target, idx, write, atomic, epoch)
+            for prev in self._entries:
+                if prev.target != target or prev.epoch != epoch:
+                    continue
+                if prev.origin == origin:
+                    continue  # same origin: ordered by program order
+                if not (prev.write or write):
+                    continue  # read-read never conflicts
+                if prev.atomic and atomic:
+                    continue  # atomic-atomic is element-wise serialized
+                overlap = np.intersect1d(prev.idx, idx, assume_unique=True)
+                if overlap.size:
+                    raise RmaRaceError(
+                        f"RMA race on window {self.win_id}: conflicting "
+                        f"unsynchronized accesses to target {target} "
+                        f"element(s) {overlap[:8].tolist()} — "
+                        f"first access: {prev.describe()}; "
+                        f"second access: {mine.describe()}. "
+                        "Separate them with a fence, or use atomic "
+                        "accumulate/fetch_and_op on both sides."
+                    )
+            self._entries.append(mine)
+            self.total += 1
 
 
 class Window:
@@ -64,6 +147,13 @@ class Window:
         self.win_id = comm.bcast(win_id, root=0)
         self._slots = comm.fabric.register_window(self.win_id, comm.size)
         self._slots[comm.rank] = local
+        # verify mode: attach the shared race-detection log for this window
+        self._tracker: RmaAccessLog | None = None
+        if comm.fabric.verify:
+            wid, size = self.win_id, comm.size
+            self._tracker = comm.fabric.rma_log_for(
+                wid, lambda: RmaAccessLog(wid, size)
+            )
         if comm.rank == 0 and len(self._locks_registry()) == 0:
             pass  # locks created lazily below
         self._locks = self._locks_registry()
@@ -92,6 +182,8 @@ class Window:
         """Collective synchronization separating access epochs
         (``MPI_Win_fence``).  A barrier suffices under our always-consistent
         shared-memory emulation."""
+        if self._tracker is not None:
+            self._tracker.advance(self.comm.rank)
         self.comm.barrier()
 
     def free(self) -> None:
@@ -128,6 +220,12 @@ class Window:
         self.rma_ops += 1
         self.rma_words += int(np.asarray(index).size)
 
+    def _track(self, op: str, target: int, index: Any, *, write: bool, atomic: bool) -> None:
+        if self._tracker is not None:
+            self._tracker.record(
+                self.comm.rank, op, target, index, write=write, atomic=atomic
+            )
+
     def get(self, target: int, index: Any) -> Any:
         """Read element(s) at ``index`` from ``target``'s window memory.
 
@@ -137,6 +235,7 @@ class Window:
         arr = self._target_array(target)
         self._check_index(arr, index)
         self._charge(index)
+        self._track("get", target, index, write=False, atomic=False)
         with self._locks[target]:
             out = arr[index]
         return out.copy() if isinstance(out, np.ndarray) else out
@@ -146,6 +245,7 @@ class Window:
         arr = self._target_array(target)
         self._check_index(arr, index)
         self._charge(index)
+        self._track("put", target, index, write=True, atomic=False)
         with self._locks[target]:
             arr[index] = value
 
@@ -156,6 +256,7 @@ class Window:
         arr = self._target_array(target)
         self._check_index(arr, index)
         self._charge(index)
+        self._track("accumulate", target, index, write=True, atomic=True)
         with self._locks[target]:
             op.at(arr, index, value)
 
@@ -170,6 +271,7 @@ class Window:
         arr = self._target_array(target)
         self._check_index(arr, int(index))
         self._charge(index)
+        self._track("fetch_and_op", target, index, write=True, atomic=True)
         with self._locks[target]:
             old = arr[index]
             old = old.copy() if isinstance(old, np.ndarray) else old
@@ -183,6 +285,7 @@ class Window:
         arr = self._target_array(target)
         self._check_index(arr, int(index))
         self._charge(index)
+        self._track("compare_and_swap", target, index, write=True, atomic=True)
         with self._locks[target]:
             old = arr[index]
             if old == expected:

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..perfmodel import EDISON, MachineSpec, collectives as C
+from ..perfmodel import EDISON, MachineSpec
 
 #: Bytes per edge assumed by the paper's memory estimate ("20 bytes per edge").
 BYTES_PER_EDGE = 20

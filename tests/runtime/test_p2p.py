@@ -146,10 +146,38 @@ def test_send_to_out_of_range_rank_raises():
 
 
 def test_reserved_tag_rejected_for_user_messages():
+    from repro.runtime import CommError
+
     def main(comm):
         comm.send((comm.rank + 1) % comm.size, 0, tag=1 << 30)
 
-    with pytest.raises(ValueError):
+    with pytest.raises(CommError, match="reserved for collective"):
+        spmd(2, main, timeout=1.0)
+
+
+def test_reserved_tag_rejected_on_recv_and_probe():
+    from repro.runtime import CommError
+
+    def recv_main(comm):
+        comm.recv(tag=1 << 30)
+
+    with pytest.raises(CommError, match="reserved for collective"):
+        spmd(2, recv_main, timeout=1.0)
+
+    def probe_main(comm):
+        comm.probe(tag=(1 << 30) + 5)
+
+    with pytest.raises(CommError, match="reserved for collective"):
+        spmd(2, probe_main, timeout=1.0)
+
+
+def test_negative_tag_rejected_for_send_but_wildcard_recv_ok():
+    from repro.runtime import CommError
+
+    def main(comm):
+        comm.send((comm.rank + 1) % comm.size, 0, tag=-1)
+
+    with pytest.raises(CommError):
         spmd(2, main, timeout=1.0)
 
 

@@ -63,3 +63,10 @@ def test_spmd_run(capsys):
     assert main(["spmd", "--rmat", "er:7", "--pr", "2", "--pc", "2"]) == 0
     out = capsys.readouterr().out
     assert "grid 2x2" in out
+
+
+def test_spmd_verify_reports_checked_counts(capsys):
+    assert main(["spmd", "--rmat", "er:7", "--pr", "2", "--pc", "2", "--verify"]) == 0
+    out = capsys.readouterr().out
+    assert "verification: PASSED" in out
+    assert "collective entries cross-checked" in out
