@@ -120,6 +120,7 @@ def cmd_spmd(args) -> int:
     mate_r, mate_c, stats = run_mcm_dist(
         coo, args.pr, args.pc,
         init=args.init if args.init in ("greedy", "mindegree") else "none",
+        direction=args.direction,
         verify=args.verify,
     )
     card = int((mate_r != -1).sum())
@@ -127,6 +128,11 @@ def cmd_spmd(args) -> int:
           f"(init {stats.initial_cardinality:,}), {stats.phases} phases, "
           f"{stats.iterations} iterations, augment level/path = "
           f"{stats.augment_level_calls}/{stats.augment_path_calls}")
+    print(f"direction {args.direction}: top-down/bottom-up steps = "
+          f"{stats.topdown_steps}/{stats.bottomup_steps}, "
+          f"{stats.edges_examined:,} edges examined, words "
+          f"expand/fold/total = {stats.expand_words:,}/{stats.fold_words:,}/"
+          f"{stats.total_words:,}")
     if args.verify:
         vs = stats.verify_summary or {}
         print(f"verification: PASSED — {vs.get('collectives_checked', 0):,} "
@@ -180,6 +186,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--pr", type=int, default=2)
     p.add_argument("--pc", type=int, default=2)
     p.add_argument("--init", default="greedy", choices=["greedy", "mindegree", "none"])
+    p.add_argument("--direction", default="topdown", choices=["topdown", "bottomup", "auto"])
     p.add_argument("--verify", action="store_true",
                    help="arm the dynamic verifiers: cross-check every collective "
                         "entry across ranks and race-check every RMA access")

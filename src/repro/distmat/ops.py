@@ -9,6 +9,16 @@ rank-local objects of this package:
   slice along the grid column) → local DCSC explode + pre-reduction →
   *fold* (all-to-all of partial winners along the grid row) → destination
   reduction;
+* :func:`spmv_bottomup` — the direction-optimized (pull) SpMV of the
+  paper's stated future work: the frontier's (idx, root) pairs are
+  allgathered along the grid column and packed into a dense per-block
+  ``root_of`` array, the unvisited row ids are allgathered along the grid
+  row, and each block scans its unvisited rows' adjacency through the
+  cached DCSC row-major mirror; fold and destination reduction are shared
+  with :func:`spmv`, so deterministic semirings produce bit-identical
+  frontiers;
+* :func:`direction_edge_counts` — the per-iteration switch rule's global
+  (top-down, bottom-up) edge counts, one 2-word allreduce;
 * :func:`invert_route` — INVERT's data movement: entries travel to the
   owner of their *value* interpreted as an index on the other side — an
   all-to-all over ALL p ranks, the paper's scaling bottleneck;
@@ -20,9 +30,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..runtime.comm import Communicator
+from ..runtime.comm import SUM, Communicator
 from ..sparse.semiring import SR_MIN_PARENT, Semiring, reduce_candidates
-from .distvec import DistDenseVec, DistVertexFrontier, make_vecmap
+from ..sparse.spvec import NULL
+from .distvec import DistDenseVec, DistVertexFrontier
 from .spmat import DistSparseMatrix
 
 
@@ -45,6 +56,33 @@ def route(comm: Communicator, dest: np.ndarray, *arrays: np.ndarray) -> tuple[np
         np.concatenate([r[k] for r in received]) if received else np.empty(0, np.int64)
         for k in range(len(arrays))
     )
+
+
+def _fold_and_reduce(
+    A: DistSparseMatrix,
+    grows: np.ndarray,
+    parents: np.ndarray,
+    roots: np.ndarray,
+    semiring: Semiring,
+    rng: np.random.Generator | None,
+) -> DistVertexFrontier:
+    """Shared SpMV tail: local pre-reduction of the candidate triples, fold
+    (route each partial winner to its row-vector owner along the grid row),
+    destination reduction.  Both traversal directions funnel through here,
+    which is what makes them bit-identical under deterministic semirings."""
+    grid = A.grid
+    # local pre-reduction shrinks the fold volume (CombBLAS does the same)
+    grows, parents, roots = reduce_candidates(grows, parents, roots, semiring, rng)
+
+    # -- fold: send each partial winner to the row-vector owner of its row.
+    # All my rows live in row block i, whose sub-chunks are owned by the pc
+    # ranks of my grid row; the sub index IS the rowcomm rank.
+    sub, _block = A.row_vecmap.owner(grows)
+    rrows, rparents, rroots = route(grid.rowcomm, sub, grows, parents, roots)
+
+    # -- destination reduction: one winner per row across all blocks
+    ridx, rpar, rroot = reduce_candidates(rrows, rparents, rroots, semiring, rng)
+    return DistVertexFrontier(grid, A.nrows, "row", ridx, rpar, rroot)
 
 
 def spmv(
@@ -71,20 +109,87 @@ def spmv(
 
     # -- local explode on the DCSC block (select2nd: parent = column id)
     lrows, parents, roots = A.block.explode_cols(gcols - A.col_lo, gcols, groots)
-    grows = lrows + A.row_lo
-    # local pre-reduction shrinks the fold volume (CombBLAS does the same)
-    grows, parents, roots = reduce_candidates(grows, parents, roots, semiring, rng)
+    return _fold_and_reduce(A, lrows + A.row_lo, parents, roots, semiring, rng)
 
-    # -- fold: send each partial winner to the row-vector owner of its row.
-    # All my rows live in row block i, whose sub-chunks are owned by the pc
-    # ranks of my grid row; the sub index IS the rowcomm rank.
-    vmap = make_vecmap(grid, A.nrows, "row")
-    sub, _block = vmap.owner(grows)
-    rrows, rparents, rroots = route(grid.rowcomm, sub, grows, parents, roots)
 
-    # -- destination reduction: one winner per row across all blocks
-    ridx, rpar, rroot = reduce_candidates(rrows, rparents, rroots, semiring, rng)
-    return DistVertexFrontier(grid, A.nrows, "row", ridx, rpar, rroot)
+def spmv_bottomup(
+    A: DistSparseMatrix,
+    fc: DistVertexFrontier,
+    pi_r: DistDenseVec,
+    semiring: Semiring = SR_MIN_PARENT,
+    rng: np.random.Generator | None = None,
+) -> DistVertexFrontier:
+    """Direction-optimized Step 1: unvisited rows PULL from the frontier.
+
+    The paper's stated future work ("the bottom-up BFS in distributed
+    memory"), as a drop-in replacement for :func:`spmv` when the frontier is
+    wide:
+
+    1. *expand*: allgather the frontier's (idx, root) pairs along the grid
+       column — the same collective as the top-down expand — and pack them
+       into a dense ``root_of`` array covering this rank's column block (the
+       replicated frontier bitmap of the serial ``_bottom_up_step``);
+    2. *unvisited exchange*: allgather the unvisited row ids (``π_r`` still
+       NULL) along the grid row, assembling row block i's unvisited set from
+       the pc sub-chunk owners;
+    3. *pull*: every block scans its unvisited rows' adjacency through the
+       cached DCSC row-major mirror and keeps edges whose column is on the
+       frontier;
+    4. fold + destination reduction, shared with :func:`spmv`.
+
+    For a row left unvisited, the candidate set {(r, c) : c ∈ f_c} is
+    identical in both directions, so deterministic semirings yield the SAME
+    winners as :func:`spmv` followed by the Step 2 unvisited filter — the
+    integration tests assert bit-identical mate vectors.
+    """
+    grid = A.grid
+    if fc.orient != "col":
+        raise ValueError("spmv_bottomup expects a column frontier")
+    if pi_r.orient != "row":
+        raise ValueError("spmv_bottomup expects a row-oriented visited vector")
+
+    # -- expand: dense per-block frontier lookup (column block j)
+    pieces = grid.colcomm.allgatherv((fc.idx, fc.root))
+    gcols = np.concatenate([p[0] for p in pieces])
+    groots = np.concatenate([p[1] for p in pieces])
+    root_of = np.full(A.block.ncols, NULL, dtype=np.int64)
+    root_of[gcols - A.col_lo] = groots
+
+    # -- unvisited exchange: assemble row block i's unvisited rows.  rowcomm
+    # ranks own consecutive sub-chunks of block i, so rank-ordered
+    # concatenation is already sorted by global row id.
+    mine = np.flatnonzero(pi_r.local == NULL) + pi_r.lo
+    upieces = grid.rowcomm.allgatherv(mine)
+    unvisited = np.concatenate(upieces) - A.row_lo
+
+    # -- pull through the cached CSR mirror, filter by frontier membership
+    cand_rows, cand_cols = A.block.explode_rows(unvisited)
+    croots = root_of[cand_cols]
+    hit = croots != NULL
+    grows = cand_rows[hit] + A.row_lo
+    parents = cand_cols[hit] + A.col_lo
+    return _fold_and_reduce(A, grows, parents, croots[hit], semiring, rng)
+
+
+def direction_edge_counts(
+    A: DistSparseMatrix,
+    fc: DistVertexFrontier,
+    pi_r: DistDenseVec,
+) -> tuple[int, int]:
+    """Collective: the switch rule's global (top-down, bottom-up) edge counts.
+
+    Top-down would examine every edge of the frontier's columns; bottom-up
+    every edge of the still-unvisited rows.  Each rank sums full-matrix
+    degrees over its own vector sub-chunk using the cached
+    :meth:`DistSparseMatrix.degree_slices`, then ONE 2-word allreduce makes
+    the counts (and therefore the direction decision) globally uniform —
+    the classic direction-optimization rule, distributed.
+    """
+    degr_sub, degc_sub = A.degree_slices()
+    td = int(degc_sub[fc.idx - fc.lo].sum())
+    bu = int(degr_sub[pi_r.local == NULL].sum())
+    both = A.grid.comm.allreduce(np.array([td, bu], dtype=np.int64), op=SUM)
+    return int(both[0]), int(both[1])
 
 
 def spmv_local_work(A: DistSparseMatrix, fc: DistVertexFrontier) -> int:

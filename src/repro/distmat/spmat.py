@@ -6,6 +6,7 @@ import numpy as np
 
 from ..sparse.coo import COO
 from ..sparse.dcsc import DCSC
+from .distvec import make_vecmap
 from .grid import ProcGrid
 from .vecmap import BlockMap
 
@@ -17,6 +18,10 @@ class DistSparseMatrix:
     ``colmap.range(j)``) as a DCSC with *local* indices.  Construction is a
     root scatter: rank 0 holds the COO, partitions it by owner block and
     scatters; every other rank contributes ``None``.
+
+    The row- and column-vector distribution maps are built once here and
+    cached (``row_vecmap``/``col_vecmap``) — every SpMV fold and INVERT
+    reuses them instead of rebuilding per call.
     """
 
     def __init__(self, grid: ProcGrid, nrows: int, ncols: int, block: DCSC) -> None:
@@ -28,6 +33,9 @@ class DistSparseMatrix:
         self.block = block
         self.row_lo, self.row_hi = self.rowmap.range(grid.i)
         self.col_lo, self.col_hi = self.colmap.range(grid.j)
+        self.row_vecmap = make_vecmap(grid, nrows, "row")
+        self.col_vecmap = make_vecmap(grid, ncols, "col")
+        self._degree_slices: "tuple[np.ndarray, np.ndarray] | None" = None
 
     # -- construction ------------------------------------------------------------
 
@@ -81,6 +89,36 @@ class DistSparseMatrix:
         from ..runtime.comm import SUM
 
         return int(self.grid.comm.allreduce(self.local_nnz, op=SUM))
+
+    def degree_slices(self) -> tuple[np.ndarray, np.ndarray]:
+        """Full-matrix (row, column) degrees restricted to this rank's
+        row-/column-vector sub-chunks — the O(1)-lookup inputs of the
+        direction-optimization switch rule.
+
+        COLLECTIVE on first call (one allreduce along each of rowcomm and
+        colcomm, summing the per-block degree contributions), then cached.
+        Every rank must reach the first call at the same program point —
+        :func:`repro.matching.mcm_dist.mcm_dist_spmd` does so before its
+        phase loop.  Treat the returned arrays as read-only.
+        """
+        if self._degree_slices is None:
+            from ..runtime.comm import SUM
+
+            grid, blk = self.grid, self.block
+            degr_blk = grid.rowcomm.allreduce(blk.row_degrees(), op=SUM)
+            degc_loc = np.zeros(blk.ncols, dtype=np.int64)
+            if blk.nzc:
+                degc_loc[blk.jc] = np.diff(blk.cp)
+            degc_blk = grid.colcomm.allreduce(degc_loc, op=SUM)
+            # slice the block-replicated vectors down to this rank's own
+            # vector sub-chunk (row vectors: sub = grid.j; col: sub = grid.i)
+            rlo, rhi = self.row_vecmap.local_range(grid.j, grid.i)
+            clo, chi = self.col_vecmap.local_range(grid.i, grid.j)
+            self._degree_slices = (
+                degr_blk[rlo - self.row_lo:rhi - self.row_lo],
+                degc_blk[clo - self.col_lo:chi - self.col_lo],
+            )
+        return self._degree_slices
 
     def gather_to_root(self, root: int = 0) -> "COO | None":
         """Collective: reassemble the global COO at ``root`` (the expensive

@@ -12,6 +12,9 @@ paper                                  here
 ====================================  =========================================
 Algorithm 2 (MCM-DIST)                 :func:`mcm_dist_spmd`
 Step 1 SpMV (expand/fold)              :func:`repro.distmat.ops.spmv`
+Step 1, direction-optimized            :func:`repro.distmat.ops.spmv_bottomup`
+                                       (+ ``direction="auto"`` switch via
+                                       :func:`repro.distmat.ops.direction_edge_counts`)
 Steps 2–4 SELECT/SET                   local NumPy on aligned slices
 Step 5 INVERT to ``path_c``            :func:`repro.distmat.ops.invert_route`
 Step 6 PRUNE (allgather of roots)      :func:`repro.distmat.ops.allgather_values`
@@ -34,7 +37,14 @@ import numpy as np
 
 from ..distmat.distvec import DistDenseVec, DistVertexFrontier
 from ..distmat.grid import ProcGrid
-from ..distmat.ops import allgather_values, invert_route, route, spmv
+from ..distmat.ops import (
+    allgather_values,
+    direction_edge_counts,
+    invert_route,
+    route,
+    spmv,
+    spmv_bottomup,
+)
 from ..distmat.spmat import DistSparseMatrix
 from ..runtime import Window, spmd
 from ..runtime.comm import SUM, Communicator
@@ -54,6 +64,16 @@ class DistStats:
     augment_path_calls: int = 0
     initial_cardinality: int = 0
     final_cardinality: int = 0
+    #: Step-1 direction tally (``topdown_steps + bottomup_steps == iterations``)
+    topdown_steps: int = 0
+    bottomup_steps: int = 0
+    #: global edges the chosen directions examined across all Step-1 SpMVs
+    edges_examined: int = 0
+    #: grid-wide words sent on the column/row subcommunicators (expand/fold)
+    #: and on every communicator combined, over the whole job
+    expand_words: int = 0
+    fold_words: int = 0
+    total_words: int = 0
     #: filled by :func:`run_mcm_dist` when the job ran with ``verify=True``
     verify_summary: "dict[str, int] | None" = None
 
@@ -331,13 +351,22 @@ def mcm_dist_spmd(
     semiring: Semiring = SR_MIN_PARENT,
     prune: bool = True,
     augment: str = "auto",
+    direction: str = "topdown",
 ) -> tuple[np.ndarray, np.ndarray, DistStats]:
     """The per-rank body of MCM-DIST (launch via :func:`run_mcm_dist`).
 
     ``coo_on_root`` is the input matrix on rank 0 (None elsewhere);
-    ``augment`` is "level", "path" or "auto" (the k < 2p² switch).
-    Returns (globally gathered mate_r, mate_c, stats) on every rank.
+    ``augment`` is "level", "path" or "auto" (the k < 2p² switch);
+    ``direction`` is "topdown", "bottomup" or "auto" — "auto" picks the
+    cheaper Step-1 direction every iteration by one global 2-word edge-count
+    allreduce.  Deterministic semirings yield identical mate vectors in all
+    three modes.  Returns (globally gathered mate_r, mate_c, stats) on
+    every rank.
     """
+    if direction not in ("topdown", "bottomup", "auto"):
+        raise ValueError(
+            f"unknown direction {direction!r} (topdown/bottomup/auto)"
+        )
     grid = ProcGrid(comm, pr, pc)
     A = DistSparseMatrix.scatter_from_root(grid, coo_on_root)
     mate_r = DistDenseVec(grid, A.nrows, "row")
@@ -361,6 +390,12 @@ def mcm_dist_spmd(
     pi_r = DistDenseVec(grid, A.nrows, "row")
     path_c = DistDenseVec(grid, A.ncols, "col")
 
+    # direction-switch inputs: cached degree sub-slices (collective on the
+    # first call, so EVERY mode primes them at the same program point) —
+    # also used for the edges-examined accounting below.
+    degr_sub, degc_sub = A.degree_slices()
+    edges_local = 0
+
     while True:
         stats.phases += 1
         pi_r.local.fill(NULL)
@@ -372,9 +407,26 @@ def mcm_dist_spmd(
 
         while fc.global_nnz() > 0:
             stats.iterations += 1
-            # Step 1: SpMV (expand + fold)
-            fr = spmv(A, fc, semiring)
-            # Step 2: SELECT unvisited rows
+            # Step 1: SpMV (expand + fold), direction-optimized.  The
+            # decision must be globally uniform: "auto" allreduces the two
+            # edge counts; fixed modes are trivially uniform.
+            td_local = int(degc_sub[fc.idx - fc.lo].sum())
+            bu_local = int(degr_sub[pi_r.local == NULL].sum())
+            if direction == "auto":
+                td_g, bu_g = direction_edge_counts(A, fc, pi_r)
+                use_bu = bu_g < td_g
+            else:
+                use_bu = direction == "bottomup"
+            edges_local += bu_local if use_bu else td_local
+            if use_bu:
+                stats.bottomup_steps += 1
+                fr = spmv_bottomup(A, fc, pi_r, semiring)
+            else:
+                stats.topdown_steps += 1
+                fr = spmv(A, fc, semiring)
+            # Step 2: SELECT unvisited rows (a no-op after a bottom-up step,
+            # which only ever proposes unvisited rows — kept unconditionally
+            # so both directions share one code path)
             fr = fr.keep(pi_r.get_local(fr.idx) == NULL)
             # Step 3: SET parents
             pi_r.set_local(fr.idx, fr.parent)
@@ -425,6 +477,20 @@ def mcm_dist_spmd(
     stats.final_cardinality = int(
         grid.comm.allreduce(int((mate_r.local != NULL).sum()), op=SUM)
     )
+    stats.edges_examined = int(grid.comm.allreduce(edges_local, op=SUM))
+    # snapshot BEFORE the summing allreduce so it doesn't count itself
+    words = np.array(
+        [
+            grid.colcomm.stats.words_sent,
+            grid.rowcomm.stats.words_sent,
+            grid.comm.stats.words_sent,
+        ],
+        dtype=np.int64,
+    )
+    words = grid.comm.allreduce(words, op=SUM)
+    stats.expand_words = int(words[0])
+    stats.fold_words = int(words[1])
+    stats.total_words = int(words[0] + words[1] + words[2])
     return mate_r.to_global(), mate_c.to_global(), stats
 
 
@@ -437,6 +503,7 @@ def run_mcm_dist(
     semiring: Semiring = SR_MIN_PARENT,
     prune: bool = True,
     augment: str = "auto",
+    direction: str = "topdown",
     timeout: float = 120.0,
     verify: bool = False,
 ) -> tuple[np.ndarray, np.ndarray, DistStats]:
@@ -444,6 +511,7 @@ def run_mcm_dist(
 
     The matrix starts on rank 0 and is scattered; the returned mate vectors
     are the globally assembled result (identical on every rank).
+    ``direction`` selects the Step-1 traversal ("topdown"/"bottomup"/"auto").
     ``verify=True`` arms the runtime's collective-divergence and RMA-race
     verifiers for the whole job (``repro spmd --verify``).
     """
@@ -453,6 +521,7 @@ def run_mcm_dist(
         return mcm_dist_spmd(
             comm, data, pr, pc,
             init=init, semiring=semiring, prune=prune, augment=augment,
+            direction=direction,
         )
 
     result = spmd(pr * pc, main, timeout=timeout, verify=verify)

@@ -54,12 +54,13 @@ class MsBfsHooks:
         (the fold traffic); ``fr`` the reduced row frontier (before Step 2's
         filter)."""
 
-    def on_spmv_bottomup(self, fc: VertexFrontier, cand_rows: np.ndarray, cand_cols: np.ndarray, fr: VertexFrontier) -> None:
-        """Step 1 done bottom-up (direction-optimized): the *unvisited rows*
-        scanned their adjacency against a dense frontier bitmap.  ``cand_*``
-        are the examined edges; in distributed terms the frontier travels as
-        a dense block (allgather of the bitmap + roots) instead of a sparse
-        expand."""
+    def on_spmv_bottomup(self, fc: VertexFrontier, cand_rows: np.ndarray, cand_cols: np.ndarray, fr: VertexFrontier, unvisited: np.ndarray) -> None:
+        """Step 1 done bottom-up (direction-optimized): the ``unvisited``
+        rows scanned their adjacency against a dense frontier bitmap.
+        ``cand_*`` are the edges that hit the frontier; in distributed terms
+        the frontier's (idx, root) pairs are allgathered along grid columns
+        and packed into a dense per-block ``root_of`` array, and the
+        unvisited row ids are allgathered along grid rows."""
 
     def on_select_set(self, fr: VertexFrontier, ufr: VertexFrontier) -> None:
         """Steps 2-4 done: frontier filtered to matched (``fr``) and
@@ -100,28 +101,27 @@ class MatchingStats:
 
 
 def _bottom_up_step(
-    a: CSC,
+    at: CSC,
     fc: VertexFrontier,
-    pi_r: np.ndarray,
-    semiring: Semiring,
-    rng: np.random.Generator | None,
+    unvisited: np.ndarray,
+    ncols: int,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Direction-optimized Step 1: unvisited rows scan THEIR adjacency for
     frontier columns, instead of frontier columns pushing to rows.
 
-    With a deterministic semiring the winners are identical to the top-down
-    step's (the candidate edge set {(r, c) : c ∈ f_c, r unvisited} is the
-    same; only the traversal direction differs), so the switch never changes
-    the computed matching.  Returns the examined (cand_rows, cand_cols) and
-    is followed by the shared reduction.
+    ``at`` is the row-major mirror (Aᵀ), computed ONCE per phase by the
+    caller — the cached :meth:`CSC.transpose` — never per iteration.  With a
+    deterministic semiring the winners are identical to the top-down step's
+    (the candidate edge set {(r, c) : c ∈ f_c, r unvisited} is the same;
+    only the traversal direction differs), so the switch never changes the
+    computed matching.  Returns the hit (cand_rows, cand_cols) and the dense
+    ``root_of`` lookup, followed by the shared reduction.
     """
-    at = a.transpose()
-    unvisited = np.flatnonzero(pi_r == NULL)
     cand_cols, counts = ragged_gather(at.indptr, at.indices, unvisited)
     cand_rows = np.repeat(unvisited, counts)
     # dense frontier membership + root lookup (the replicated bitmap of the
     # distributed formulation)
-    root_of = np.full(a.ncols, NULL, dtype=np.int64)
+    root_of = np.full(ncols, NULL, dtype=np.int64)
     root_of[fc.idx] = fc.root
     hit = root_of[cand_cols] != NULL
     return cand_rows[hit], cand_cols[hit], root_of
@@ -157,6 +157,9 @@ def run_phase(
     hooks = hooks or MsBfsHooks()
     n2 = a.ncols
     path_c = np.full(n2, NULL, dtype=np.int64)
+    # Hoisted out of the iteration loop: the row-major mirror and the row
+    # degrees are both cached on the CSC, built at most once per run.
+    at = a.transpose() if direction != "topdown" else None
     deg_r = a.row_degrees() if direction != "topdown" else None
 
     # Initial column frontier: every unmatched column, parent = root = self.
@@ -173,12 +176,13 @@ def run_phase(
             bottom_up_edges = int(deg_r[pi_r == NULL].sum())
             use_bottom_up = bottom_up_edges < top_down_edges
         if use_bottom_up:
-            cand_rows, cand_cols, root_of = _bottom_up_step(a, fc, pi_r, semiring, rng)
+            unvisited = np.flatnonzero(pi_r == NULL)
+            cand_rows, cand_cols, root_of = _bottom_up_step(at, fc, unvisited, n2)
             cand_parents = cand_cols
             cand_roots = root_of[cand_cols]
             ridx, rpar, rroot = reduce_candidates(cand_rows, cand_parents, cand_roots, semiring, rng)
             fr = VertexFrontier(a.nrows, ridx, rpar, rroot)
-            hooks.on_spmv_bottomup(fc, cand_rows, cand_parents, fr)
+            hooks.on_spmv_bottomup(fc, cand_rows, cand_parents, fr, unvisited)
         else:
             cand_rows, cand_parents, cand_roots, _ = a.explode_frontier(fc)
             ridx, rpar, rroot = reduce_candidates(cand_rows, cand_parents, cand_roots, semiring, rng)

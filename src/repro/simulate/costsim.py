@@ -11,6 +11,10 @@ spmv              expand: ring allgather of the frontier slice over the √P
                   busiest block's touched edges / t threads; fold: pairwise
                   all-to-all of distinct (block, row) partial winners over
                   the √P ranks of a grid row
+spmv_bottomup     same expand/fold collectives (sparse (idx, root) pairs
+                  travel either way) + an allgather of the unvisited row
+                  ids along each grid row; compute: the busiest block's
+                  frontier-hitting edges
 select_set        3 local passes over the busiest rank's frontier slice
 invert_paths      all-to-all over ALL P ranks (αP latency — the paper's
                   strong-scaling bottleneck), volume 2 words/entry
@@ -88,12 +92,14 @@ class _RecordingMsBfs(MsBfsHooks):
             fr_rows=fr.idx.copy(),
         )
 
-    def on_spmv_bottomup(self, fc, cand_rows, cand_cols, fr):
+    def on_spmv_bottomup(self, fc, cand_rows, cand_cols, fr, unvisited):
         self.t.add(
             "spmv_bottomup",
-            fc_nnz=int(fc.nnz),
+            fc_idx=fc.idx.copy(),
             cand_rows=cand_rows.copy(),
             cand_cols=cand_cols.copy(),
+            fr_rows=fr.idx.copy(),
+            unvisited=unvisited.copy(),
         )
 
     def on_select_set(self, fr, ufr):
@@ -297,21 +303,20 @@ class _Pricer:
             if kind == "spmv":
                 self.spmv_like(Category.SPMV, ev["fc_idx"], ev["cand_rows"], ev["cand_cols"])
             elif kind == "spmv_bottomup":
-                # expand: the frontier travels as a DENSE block (bitmap +
-                # roots) along each grid column — volume is the block's
-                # column count, independent of frontier sparsity
-                a_pr, b_pr = self.ab_pr
-                comm = C.allgather(self.g.pr, a_pr, b_pr, self.bs_c // 4 + 1, self.alg_ag)
-                ops = self._busiest(self.edge_rank(ev["cand_rows"], ev["cand_cols"]), self.P)
-                if ev["cand_rows"].size:
-                    key = self.edge_rank(ev["cand_rows"], ev["cand_cols"]) * np.int64(self.t.n1 + 1) + ev["cand_rows"]
-                    u = np.unique(key)
-                    vol_fold = 3 * self._busiest((u // np.int64(self.t.n1 + 1)).astype(np.int64), self.P)
-                else:
-                    vol_fold = 0
+                # expand + fold: identical collectives to top-down — the
+                # frontier travels as sparse (idx, root) pairs either way
+                # (each block packs its dense ``root_of`` lookup locally).
+                # The pull direction additionally allgathers the unvisited
+                # row ids along each grid row before scanning.
                 a_pc, b_pc = self.ab_pc
-                comm += C.alltoallv(self.g.pc, a_pc, b_pc, vol_fold, self.alg_a2a)
-                self.clock.step(Category.SPMV, ops, comm)
+                vol_unv = self._busiest(self.row_block(ev["unvisited"]), self.g.pr)
+                self.clock.charge_comm(
+                    Category.SPMV,
+                    C.allgather(self.g.pc, a_pc, b_pc, vol_unv, self.alg_ag),
+                )
+                self.spmv_like(
+                    Category.SPMV, ev["fc_idx"], ev["cand_rows"], ev["cand_cols"]
+                )
             elif kind == "select_set":
                 ops = 3 * self._busiest(self.row_vec_rank(ev["fr_rows"]), self.P)
                 self.clock.step(Category.SELECT_SET, ops, 0.0)

@@ -49,7 +49,7 @@ def ragged_gather(indptr: np.ndarray, indices: np.ndarray, cols: np.ndarray) -> 
 class CSC:
     """Binary pattern matrix in compressed sparse column form."""
 
-    __slots__ = ("nrows", "ncols", "indptr", "indices", "_transpose")
+    __slots__ = ("nrows", "ncols", "indptr", "indices", "_transpose", "_row_degrees")
 
     def __init__(self, nrows: int, ncols: int, indptr: np.ndarray, indices: np.ndarray) -> None:
         self.nrows = int(nrows)
@@ -65,6 +65,7 @@ class CSC:
         if self.indices.size and (self.indices.min() < 0 or self.indices.max() >= self.nrows):
             raise ValueError("row index out of range")
         self._transpose: "CSC | None" = None
+        self._row_degrees: "np.ndarray | None" = None
 
     # -- constructors -----------------------------------------------------------
 
@@ -95,7 +96,11 @@ class CSC:
         return np.diff(self.indptr)
 
     def row_degrees(self) -> np.ndarray:
-        return np.bincount(self.indices, minlength=self.nrows).astype(np.int64)
+        """Degree of every row (cached; the direction-optimization switch
+        reads it each iteration — treat the result as read-only)."""
+        if self._row_degrees is None:
+            self._row_degrees = np.bincount(self.indices, minlength=self.nrows).astype(np.int64)
+        return self._row_degrees
 
     def column(self, j: int) -> np.ndarray:
         """Row indices of column ``j`` (a view, do not mutate)."""

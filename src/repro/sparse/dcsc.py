@@ -13,6 +13,14 @@ storing pointers only for the ``nzc`` non-empty columns:
 Total memory O(nnz + nzc), independent of the block's column dimension.
 The SpMV kernel intersects the incoming frontier with ``jc`` by binary
 search (O(f log nzc)) and then reuses the same ragged-gather as CSC.
+
+For the direction-optimized (bottom-up) traversal each block also exposes a
+**row-major mirror** (:meth:`DCSC.csr_mirror`): dense row pointers over the
+block's rows plus column ids sorted ascending within each row.  The mirror
+and the block's row-degree vector are built lazily on first use and cached —
+the pull kernel and the switch heuristic are O(local nnz) with zero
+per-iteration rebuild.  The mirror costs O(block nrows + nnz) words, the
+same order as the dense frontier bitmap the bottom-up step replicates.
 """
 
 from __future__ import annotations
@@ -28,7 +36,7 @@ from .spvec import VertexFrontier
 class DCSC:
     """Hypersparse pattern matrix block."""
 
-    __slots__ = ("nrows", "ncols", "jc", "cp", "ir")
+    __slots__ = ("nrows", "ncols", "jc", "cp", "ir", "_csr", "_row_degrees")
 
     def __init__(self, nrows: int, ncols: int, jc: np.ndarray, cp: np.ndarray, ir: np.ndarray) -> None:
         self.nrows = int(nrows)
@@ -49,6 +57,8 @@ class DCSC:
             raise ValueError("cp must start at 0 and end at nnz")
         if self.ir.size and (self.ir.min() < 0 or self.ir.max() >= self.nrows):
             raise ValueError("row index out of range")
+        self._csr: "tuple[np.ndarray, np.ndarray] | None" = None
+        self._row_degrees: "np.ndarray | None" = None
 
     # -- constructors -----------------------------------------------------------
 
@@ -93,7 +103,38 @@ class DCSC:
         return self.jc, np.diff(self.cp)
 
     def row_degrees(self) -> np.ndarray:
-        return np.bincount(self.ir, minlength=self.nrows).astype(np.int64)
+        """Degree of every block row (cached; treat as read-only)."""
+        if self._row_degrees is None:
+            self._row_degrees = np.bincount(self.ir, minlength=self.nrows).astype(np.int64)
+        return self._row_degrees
+
+    def csr_mirror(self) -> tuple[np.ndarray, np.ndarray]:
+        """Row-major mirror ``(row_ptr, col_idx)`` of the block (cached).
+
+        ``row_ptr`` has ``nrows + 1`` entries (dense over the block's rows —
+        the bottom-up pull scans arbitrary unvisited-row subsets, so sparse
+        row compression would only add a search per lookup); ``col_idx``
+        holds LOCAL column ids, ascending within each row.  Built lazily in
+        O(nnz) from the cached row degrees, then reused by every bottom-up
+        SpMV — no per-iteration rebuild.
+        """
+        if self._csr is None:
+            row_ptr = np.zeros(self.nrows + 1, dtype=np.int64)
+            np.cumsum(self.row_degrees(), out=row_ptr[1:])
+            cols = np.repeat(self.jc, np.diff(self.cp))
+            order = np.lexsort((cols, self.ir))
+            self._csr = (row_ptr, cols[order])
+        return self._csr
+
+    def explode_rows(self, rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Pull traversal: all (row, column) pairs adjacent to the given
+        LOCAL rows, via the cached CSR mirror.  Columns ascend within each
+        row, so downstream stable reductions tie-break by column exactly
+        like the column-major explode does."""
+        rows = np.asarray(rows, dtype=np.int64)
+        row_ptr, col_idx = self.csr_mirror()
+        cols, counts = ragged_gather(row_ptr, col_idx, rows)
+        return np.repeat(rows, counts), cols
 
     # -- kernels ---------------------------------------------------------------
 

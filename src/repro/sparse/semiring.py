@@ -16,8 +16,14 @@ columns adjacent to the same row:
 
 :func:`reduce_candidates` is the shared reduction kernel: given the exploded
 candidate triples ``(row, parent, root)`` it returns one winner per distinct
-row, rows sorted ascending.  Vectorized via lexsort — O(c log c) for c
-candidates.
+row, rows sorted ascending.  Deterministic min/max modes take an O(c) keyed
+scatter fast path (``np.minimum.at`` over a dense per-row best array) when
+the candidate rows span a compact index range — which they always do on the
+hot paths (local pre-reduction inside one DCSC block, destination reduction
+inside one vector sub-chunk) — and fall back to the O(c log c) lexsort
+otherwise.  ``rand`` modes always use the shuffled stable sort.  Both paths
+produce bit-identical winners (the scatter encodes (key, arrival position)
+so ties resolve to the first candidate, exactly like the stable lexsort).
 """
 
 from __future__ import annotations
@@ -56,6 +62,43 @@ SR_RAND_PARENT = Semiring("select2nd.randParent", by="parent", mode="rand")
 SR_MIN_ROOT = Semiring("select2nd.minRoot", by="root", mode="min")
 SR_RAND_ROOT = Semiring("select2nd.randRoot", by="root", mode="rand")
 
+_I64_MAX = np.iinfo(np.int64).max
+
+#: Dense-scatter scratch may be this many times larger than the candidate
+#: count before the fast path stops paying for its allocation.
+_SCATTER_SLACK = 4
+
+
+def _reduce_scatter(
+    rows: np.ndarray,
+    parents: np.ndarray,
+    roots: np.ndarray,
+    k: np.ndarray,
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray] | None":
+    """O(c) keyed min-scatter; ``None`` when the inputs don't fit the path.
+
+    Each candidate's key and arrival position are packed into one int64
+    (``k * c + position``) so a single ``np.minimum.at`` finds, per row, the
+    minimal key with first-arrival tie-breaking — the exact winner the
+    stable lexsort picks.  Requires the row ids to span a range not much
+    wider than the candidate count and the packed keys to fit in int64.
+    """
+    c = rows.size
+    lo = int(rows.min())
+    width = int(rows.max()) - lo + 1
+    if width > _SCATTER_SLACK * c + 1024:
+        return None  # rows too spread out: dense scratch would dominate
+    kmax = int(np.abs(k).max()) if c else 0
+    if kmax >= (_I64_MAX - c) // c:
+        return None  # packed (key, position) would overflow int64
+    enc = k * np.int64(c) + np.arange(c, dtype=np.int64)
+    best = np.full(width, _I64_MAX, dtype=np.int64)
+    np.minimum.at(best, rows - lo, enc)
+    hit = best != _I64_MAX
+    pos = best[hit] % np.int64(c)  # floor-mod recovers the position exactly
+    ridx = np.flatnonzero(hit).astype(np.int64, copy=False) + lo
+    return ridx, parents[pos], roots[pos]
+
 
 def reduce_candidates(
     rows: np.ndarray,
@@ -88,6 +131,9 @@ def reduce_candidates(
         order = np.argsort(rows, kind="stable")
     else:
         k = -key if semiring.mode == "max" else key
+        fast = _reduce_scatter(rows, parents, roots, k)
+        if fast is not None:
+            return fast
         order = np.lexsort((k, rows))
     rows, parents, roots = rows[order], parents[order], roots[order]
     first = np.empty(rows.size, dtype=bool)

@@ -6,10 +6,11 @@ from hypothesis import given, settings, strategies as st
 
 from repro.distmat.distvec import DistDenseVec, DistVertexFrontier
 from repro.distmat.grid import ProcGrid
-from repro.distmat.ops import route, spmv
+from repro.distmat.ops import direction_edge_counts, route, spmv, spmv_bottomup
 from repro.distmat.spmat import DistSparseMatrix
 from repro.runtime import spmd
 from repro.sparse import COO, CSC, SR_MIN_PARENT, VertexFrontier
+from repro.sparse.spvec import NULL
 
 GRIDS = [(1, 1), (1, 3), (2, 2), (3, 2)]
 
@@ -90,3 +91,70 @@ def test_route_conserves_and_delivers(p, n, seed):
             for v, d in zip(values[src], dests[src]) if d == r
         )
         assert res[r] == expected
+
+
+@st.composite
+def coo_grid_and_state(draw):
+    """A random matrix, grid shape, frontier and visited-state vector."""
+    coo, pr, pc = draw(coo_and_grid())
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    k = draw(st.integers(0, coo.ncols))
+    fidx = np.sort(rng.choice(coo.ncols, size=min(k, coo.ncols), replace=False))
+    # arbitrary partial visited state: ~half the rows already have parents
+    pi = np.where(rng.random(coo.nrows) < 0.5, np.int64(0), np.int64(NULL))
+    return coo, pr, pc, fidx.astype(np.int64), pi
+
+
+@settings(max_examples=15, deadline=None)
+@given(coo_grid_and_state())
+def test_distributed_bottomup_equals_filtered_topdown(args):
+    """spmv_bottomup == serial SpMV restricted to unvisited rows, for any
+    visited state — the invariant behind the direction switch."""
+    coo, pr, pc, fidx, pi = args
+    serial = CSC.from_coo(coo).spmv_frontier(
+        VertexFrontier.roots_of_self(coo.ncols, fidx), SR_MIN_PARENT
+    )
+    keep = pi[serial.idx] == NULL
+    want = serial.idx[keep], serial.parent[keep], serial.root[keep]
+
+    def main(comm):
+        grid = ProcGrid(comm, pr, pc)
+        A = DistSparseMatrix.scatter_from_root(grid, coo if comm.rank == 0 else None)
+        pi_r = DistDenseVec.from_global(grid, pi, "row")
+        probe = DistDenseVec(grid, coo.ncols, "col")
+        mine = fidx[(fidx >= probe.lo) & (fidx < probe.hi)]
+        fc = DistVertexFrontier(grid, coo.ncols, "col", mine, mine, mine)
+        fr = spmv_bottomup(A, fc, pi_r, SR_MIN_PARENT)
+        return fr.to_global_arrays()
+
+    gi, gp, gr = spmd(pr * pc, main)[0]
+    assert np.array_equal(gi, want[0])
+    assert np.array_equal(gp, want[1])
+    assert np.array_equal(gr, want[2])
+
+
+@settings(max_examples=15, deadline=None)
+@given(coo_grid_and_state())
+def test_direction_edge_counts_match_serial(args):
+    """The switch rule's allreduced counts equal the serial quantities, and
+    every rank sees the same pair."""
+    coo, pr, pc, fidx, pi = args
+    a = CSC.from_coo(coo)
+    want_td = a.spmv_count(VertexFrontier.roots_of_self(coo.ncols, fidx))
+    want_bu = int(a.row_degrees()[pi == NULL].sum())
+
+    def main(comm):
+        grid = ProcGrid(comm, pr, pc)
+        A = DistSparseMatrix.scatter_from_root(grid, coo if comm.rank == 0 else None)
+        pi_r = DistDenseVec.from_global(grid, pi, "row")
+        probe = DistDenseVec(grid, coo.ncols, "col")
+        mine = fidx[(fidx >= probe.lo) & (fidx < probe.hi)]
+        fc = DistVertexFrontier(grid, coo.ncols, "col", mine, mine, mine)
+        counts = direction_edge_counts(A, fc, pi_r)
+        # the cache is collective-on-first-call: a second read is local
+        assert A.degree_slices() is A.degree_slices()
+        return counts
+
+    res = spmd(pr * pc, main)
+    assert all(r == (want_td, want_bu) for r in res.values)

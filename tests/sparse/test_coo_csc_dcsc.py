@@ -171,3 +171,55 @@ def test_csc_dcsc_agree_on_random_matrices(seed):
     cols = rng.integers(0, 60, m)
     a = COO(40, 60, rows, cols)
     assert CSC.from_coo(a).to_coo() == DCSC.from_coo(a).to_coo()
+
+
+# -- the cached row-major mirror (bottom-up traversal support) ----------------
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_dcsc_csr_mirror_roundtrips(seed):
+    """The mirror holds exactly the block's edges, columns ascending within
+    each row."""
+    rng = np.random.default_rng(seed)
+    coo = COO(30, 50, rng.integers(0, 30, 200), rng.integers(0, 50, 200))
+    d = DCSC.from_coo(coo)
+    row_ptr, col_idx = d.csr_mirror()
+    assert row_ptr.size == d.nrows + 1 and col_idx.size == d.nnz
+    mirror_rows = np.repeat(np.arange(d.nrows), np.diff(row_ptr))
+    ref = d.to_coo()
+    order = np.lexsort((ref.cols, ref.rows))
+    assert np.array_equal(mirror_rows, ref.rows[order])
+    assert np.array_equal(col_idx, ref.cols[order])
+    # within-row column ascent is what downstream tie-breaking relies on
+    same_row = mirror_rows[1:] == mirror_rows[:-1]
+    assert np.all(col_idx[1:][same_row] > col_idx[:-1][same_row])
+
+
+def test_dcsc_csr_mirror_and_degrees_are_cached():
+    d = DCSC.from_coo(small())
+    assert d.csr_mirror() is d.csr_mirror()
+    assert d.row_degrees() is d.row_degrees()
+    assert np.array_equal(d.row_degrees(), np.diff(d.csr_mirror()[0]))
+
+
+def test_dcsc_explode_rows_matches_bruteforce():
+    rng = np.random.default_rng(7)
+    coo = COO(25, 40, rng.integers(0, 25, 150), rng.integers(0, 40, 150))
+    d = DCSC.from_coo(coo)
+    ref = d.to_coo()
+    subset = np.unique(rng.integers(0, 25, 10))
+    rows, cols = d.explode_rows(subset)
+    want = sorted(
+        (int(r), int(c)) for r, c in zip(ref.rows, ref.cols) if r in set(subset.tolist())
+    )
+    assert sorted(zip(rows.tolist(), cols.tolist())) == want
+    # rows with no edges contribute nothing; empty subset is empty
+    er, ec = d.explode_rows(np.empty(0, np.int64))
+    assert er.size == ec.size == 0
+
+
+def test_csc_row_degrees_cached_and_correct():
+    a = CSC.from_coo(small())
+    assert a.row_degrees() is a.row_degrees()
+    assert a.row_degrees().tolist() == [2, 2, 3, 2]
+    assert np.array_equal(a.row_degrees(), a.transpose().col_degrees())

@@ -152,3 +152,72 @@ def test_semiring_validation():
         Semiring("bad", by="parent", mode="median")
     assert SR_MIN_PARENT.deterministic
     assert not SR_RAND_PARENT.deterministic
+
+
+# -- the O(c) scatter fast path of reduce_candidates -------------------------
+
+
+def _lexsort_reference(rows, parents, roots, semiring):
+    """The pre-fast-path reduction: stable lexsort + first-per-row."""
+    key = parents if semiring.by == "parent" else roots
+    k = -key if semiring.mode == "max" else key
+    order = np.lexsort((k, rows))
+    rows, parents, roots = rows[order], parents[order], roots[order]
+    first = np.empty(rows.size, dtype=bool)
+    first[0] = True
+    np.not_equal(rows[1:], rows[:-1], out=first[1:])
+    return rows[first], parents[first], roots[first]
+
+
+@pytest.mark.parametrize("sr", [SR_MIN_PARENT, SR_MAX_PARENT, SR_MIN_ROOT])
+@pytest.mark.parametrize("seed", range(6))
+def test_scatter_fast_path_matches_lexsort(sr, seed):
+    """Dense row ranges (the hot path) must yield the lexsort's winners,
+    including its first-arrival tie-breaking, bit for bit."""
+    rng = np.random.default_rng(seed)
+    c = int(rng.integers(1, 400))
+    rows = rng.integers(0, max(1, c // 2), c)  # many ties per row
+    parents = rng.integers(0, 50, c)           # many equal keys too
+    roots = rng.integers(0, 50, c)
+    got = reduce_candidates(rows, parents, roots, sr)
+    want = _lexsort_reference(
+        rows.astype(np.int64), parents.astype(np.int64), roots.astype(np.int64), sr
+    )
+    for g, w in zip(got, want):
+        assert np.array_equal(g, w)
+
+
+@pytest.mark.parametrize("sr", [SR_MIN_PARENT, SR_MAX_PARENT])
+def test_scatter_fallback_on_wide_rows(sr):
+    """Row ids spread over a huge range refuse the dense scratch and fall
+    back to the lexsort — winners must be identical either way."""
+    from repro.sparse.semiring import _reduce_scatter
+
+    rng = np.random.default_rng(42)
+    c = 64
+    rows = rng.integers(0, 10**9, c)
+    rows[:8] = rows[0]  # guarantee at least one contested row
+    parents = rng.integers(0, 10**6, c)
+    roots = rng.integers(0, 10**6, c)
+    k = -parents if sr.mode == "max" else parents
+    assert _reduce_scatter(rows, parents, roots, k.astype(np.int64)) is None
+    got = reduce_candidates(rows, parents, roots, sr)
+    want = _lexsort_reference(rows, parents.astype(np.int64), roots.astype(np.int64), sr)
+    for g, w in zip(got, want):
+        assert np.array_equal(g, w)
+
+
+def test_scatter_fallback_on_huge_keys():
+    """Keys too large to pack alongside the position also decline."""
+    from repro.sparse.semiring import _reduce_scatter
+
+    rows = np.arange(8, dtype=np.int64)
+    huge = np.full(8, np.iinfo(np.int64).max // 4, dtype=np.int64)
+    assert _reduce_scatter(rows, huge, huge, huge) is None
+    r, p, t = reduce_candidates(rows, huge, huge, SR_MIN_PARENT)
+    assert np.array_equal(r, rows) and np.array_equal(p, huge)
+
+
+def test_scatter_single_candidate_and_negative_free():
+    r, p, t = reduce_candidates(np.array([7]), np.array([3]), np.array([9]))
+    assert (r.tolist(), p.tolist(), t.tolist()) == ([7], [3], [9])
