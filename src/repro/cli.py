@@ -117,12 +117,33 @@ def cmd_spmd(args) -> int:
     from .matching.mcm_dist import run_mcm_dist
 
     coo = _load_input(args)
-    mate_r, mate_c, stats = run_mcm_dist(
-        coo, args.pr, args.pc,
-        init=args.init if args.init in ("greedy", "mindegree") else "none",
-        direction=args.direction,
-        verify=args.verify,
-    )
+    init = args.init if args.init in ("greedy", "mindegree") else "none"
+    if args.chaos is not None:
+        from .runtime import FaultPlan, FileCheckpointStore, run_mcm_dist_resilient
+
+        plan = FaultPlan.parse(args.chaos_plan, seed=args.chaos)
+        store = FileCheckpointStore(args.checkpoint_dir) if args.checkpoint_dir else None
+        mate_r, mate_c, stats = run_mcm_dist_resilient(
+            coo, args.pr, args.pc,
+            init=init, direction=args.direction,
+            faults=plan,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_store=store,
+            max_restarts=args.max_restarts,
+            timeout=args.timeout,
+            verify=args.verify,
+        )
+        print(f"chaos seed {args.chaos}, plan [{plan.describe()}]: "
+              f"{stats.restarts} restart(s), {stats.phases_replayed} phase(s) "
+              f"replayed, {stats.checkpoint_words:,} checkpoint words")
+    else:
+        mate_r, mate_c, stats = run_mcm_dist(
+            coo, args.pr, args.pc,
+            init=init,
+            direction=args.direction,
+            timeout=args.timeout,
+            verify=args.verify,
+        )
     card = int((mate_r != -1).sum())
     print(f"grid {args.pr}x{args.pc}: matched {card:,} "
           f"(init {stats.initial_cardinality:,}), {stats.phases} phases, "
@@ -190,6 +211,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verify", action="store_true",
                    help="arm the dynamic verifiers: cross-check every collective "
                         "entry across ranks and race-check every RMA access")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="deadlock window for blocking runtime calls "
+                        "(default: $REPRO_SPMD_TIMEOUT or 120)")
+    p.add_argument("--chaos", type=int, default=None, metavar="SEED",
+                   help="arm seeded fault injection and checkpointed recovery; "
+                        "the seed makes the injected fault sequence reproducible")
+    p.add_argument("--chaos-plan", default="crash:rank=any,at=phase:every",
+                   metavar="PLAN",
+                   help="fault plan: ';'-separated crash:rank=R,at=KIND:N / "
+                        "transient:p=P / delay:p=P clauses (see DESIGN.md)")
+    p.add_argument("--checkpoint-every", type=int, default=1, metavar="N",
+                   help="snapshot the matching every N completed phases")
+    p.add_argument("--max-restarts", type=int, default=8, metavar="M",
+                   help="give up after M fabric rebuilds")
+    p.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                   help="persist checkpoints as .npz files (default: in-memory)")
     p.set_defaults(fn=cmd_spmd)
 
     p = sub.add_parser("lint", help="static SPMD correctness analysis")

@@ -47,6 +47,7 @@ from ..distmat.ops import (
 )
 from ..distmat.spmat import DistSparseMatrix
 from ..runtime import Window, spmd
+from ..runtime.checkpoint import Checkpoint, CheckpointStore
 from ..runtime.comm import SUM, Communicator
 from ..sparse.coo import COO
 from ..sparse.semiring import SR_MIN_PARENT, Semiring
@@ -74,6 +75,13 @@ class DistStats:
     expand_words: int = 0
     fold_words: int = 0
     total_words: int = 0
+    #: recovery counters, filled by ``run_mcm_dist_resilient``: fabric
+    #: rebuilds after failures, completed phases re-executed because they
+    #: post-dated the restart checkpoint, and 8-byte words written to the
+    #: checkpoint store across all incarnations of the job
+    restarts: int = 0
+    phases_replayed: int = 0
+    checkpoint_words: int = 0
     #: filled by :func:`run_mcm_dist` when the job ran with ``verify=True``
     verify_summary: "dict[str, int] | None" = None
 
@@ -338,6 +346,39 @@ def augment_path_spmd_rma(
 
 
 # ---------------------------------------------------------------------------
+# phase-granular checkpointing
+# ---------------------------------------------------------------------------
+
+def _save_checkpoint(
+    grid: ProcGrid,
+    store: CheckpointStore,
+    phase: int,
+    mate_r: DistDenseVec,
+    mate_c: DistDenseVec,
+    stats: DistStats,
+) -> None:
+    """Snapshot the globally assembled matching after a completed phase.
+
+    The assembly is collective (allgather on the grid communicator); only
+    rank 0 writes to the store, so file-backed stores see one writer.
+    """
+    g_r = mate_r.to_global()
+    g_c = mate_c.to_global()
+    if grid.comm.rank == 0:
+        store.save(Checkpoint(phase=phase, mate_row=g_r, mate_col=g_c, rng_state=None))
+    stats.checkpoint_words += g_r.size + g_c.size + 2
+
+
+def _phase_boundary(grid: ProcGrid, phase_no: int) -> None:
+    """Publish phase progress and give the fault plan its phase-boundary
+    crash point (a no-op without an armed injector)."""
+    fabric = grid.comm.fabric
+    fabric.note_progress("phase", phase_no)
+    if fabric.faults is not None:
+        fabric.faults.on_phase(grid.comm.global_rank, phase_no)
+
+
+# ---------------------------------------------------------------------------
 # the SPMD algorithm
 # ---------------------------------------------------------------------------
 
@@ -352,6 +393,9 @@ def mcm_dist_spmd(
     prune: bool = True,
     augment: str = "auto",
     direction: str = "topdown",
+    checkpoint_every: int = 0,
+    checkpoint_store: "CheckpointStore | None" = None,
+    resume: "Checkpoint | None" = None,
 ) -> tuple[np.ndarray, np.ndarray, DistStats]:
     """The per-rank body of MCM-DIST (launch via :func:`run_mcm_dist`).
 
@@ -362,6 +406,14 @@ def mcm_dist_spmd(
     allreduce.  Deterministic semirings yield identical mate vectors in all
     three modes.  Returns (globally gathered mate_r, mate_c, stats) on
     every rank.
+
+    Checkpoint/restart (driven by ``run_mcm_dist_resilient``): with
+    ``checkpoint_store`` set, the job snapshots the globally assembled
+    mate vectors after the initializer and after every
+    ``checkpoint_every``-th completed phase — each completed phase is a
+    valid matching, so any snapshot is a correct restart point.  With
+    ``resume`` set, the initializer is skipped and the phase loop continues
+    from the checkpointed matching.
     """
     if direction not in ("topdown", "bottomup", "auto"):
         raise ValueError(
@@ -373,7 +425,11 @@ def mcm_dist_spmd(
     mate_c = DistDenseVec(grid, A.ncols, "col")
     stats = DistStats()
 
-    if init == "greedy":
+    if resume is not None:
+        # restart path: the checkpointed matching replaces the initializer
+        mate_r.local[:] = resume.mate_row[mate_r.lo:mate_r.hi]
+        mate_c.local[:] = resume.mate_col[mate_c.lo:mate_c.hi]
+    elif init == "greedy":
         greedy_init_spmd(A, mate_r, mate_c, semiring)
     elif init == "mindegree":
         mindegree_init_spmd(A, mate_r, mate_c)
@@ -386,6 +442,9 @@ def mcm_dist_spmd(
     stats.initial_cardinality = int(
         grid.comm.allreduce(int((mate_r.local != NULL).sum()), op=SUM)
     )
+    if checkpoint_store is not None and resume is None:
+        # phase-0 snapshot: initializer work survives a crash in phase 1
+        _save_checkpoint(grid, checkpoint_store, 0, mate_r, mate_c, stats)
 
     pi_r = DistDenseVec(grid, A.nrows, "row")
     path_c = DistDenseVec(grid, A.ncols, "col")
@@ -395,9 +454,12 @@ def mcm_dist_spmd(
     # also used for the edges-examined accounting below.
     degr_sub, degc_sub = A.degree_slices()
     edges_local = 0
+    phase_no = resume.phase if resume is not None else 0
 
     while True:
-        stats.phases += 1
+        phase_no += 1
+        stats.phases = phase_no
+        _phase_boundary(grid, phase_no)
         pi_r.local.fill(NULL)
         path_c.local.fill(NULL)
 
@@ -474,6 +536,15 @@ def mcm_dist_spmd(
         else:
             raise ValueError(f"unknown augment mode {mode!r}")
 
+        # phase complete: the augmented matching is valid (vertex-disjoint
+        # augmenting paths), so it is a correct restart point
+        if (
+            checkpoint_store is not None
+            and checkpoint_every > 0
+            and phase_no % checkpoint_every == 0
+        ):
+            _save_checkpoint(grid, checkpoint_store, phase_no, mate_r, mate_c, stats)
+
     stats.final_cardinality = int(
         grid.comm.allreduce(int((mate_r.local != NULL).sum()), op=SUM)
     )
@@ -504,8 +575,9 @@ def run_mcm_dist(
     prune: bool = True,
     augment: str = "auto",
     direction: str = "topdown",
-    timeout: float = 120.0,
+    timeout: "float | None" = None,
     verify: bool = False,
+    faults=None,
 ) -> tuple[np.ndarray, np.ndarray, DistStats]:
     """Launch MCM-DIST on a simulated pr × pc process grid.
 
@@ -514,7 +586,14 @@ def run_mcm_dist(
     ``direction`` selects the Step-1 traversal ("topdown"/"bottomup"/"auto").
     ``verify=True`` arms the runtime's collective-divergence and RMA-race
     verifiers for the whole job (``repro spmd --verify``).
+    ``timeout`` is the deadlock window for every blocking runtime call
+    (``None`` → ``$REPRO_SPMD_TIMEOUT`` → 120 s); ``faults`` optionally arms
+    a seeded :class:`~repro.runtime.faults.FaultPlan`/``FaultInjector`` —
+    this entry point has no recovery, use
+    :func:`~repro.runtime.executor.run_mcm_dist_resilient` to survive the
+    injected crashes.
     """
+    from ..runtime.executor import resolve_timeout
 
     def main(comm: Communicator):
         data = coo if comm.rank == 0 else None
@@ -524,7 +603,11 @@ def run_mcm_dist(
             direction=direction,
         )
 
-    result = spmd(pr * pc, main, timeout=timeout, verify=verify)
+    result = spmd(
+        pr * pc, main,
+        timeout=resolve_timeout(timeout, default=120.0),
+        verify=verify, faults=faults,
+    )
     mate_r, mate_c, stats = result[0]
     stats.verify_summary = result.verify_summary
     return mate_r, mate_c, stats

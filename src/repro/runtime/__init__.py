@@ -31,38 +31,60 @@ from .errors import (
     CommError,
     CollectiveMismatchError,
     DeadlockError,
+    RankKilledError,
     RmaRaceError,
+    TransientCommError,
     WindowError,
 )
 from .fabric import CollectiveTrace, Fabric, ANY_SOURCE, ANY_TAG
 from .comm import Communicator, CommStats, ReduceOp, MIN, MAX, SUM, PROD, LAND, LOR, BAND, BOR
 from .rma import RmaAccessLog, Window
-from .executor import spmd, SpmdResult
+from .faults import CrashSpec, FaultInjector, FaultPlan, RetryPolicy
+from .checkpoint import Checkpoint, CheckpointStore, FileCheckpointStore
+from .executor import (
+    RECOVERABLE_ERRORS,
+    SpmdResult,
+    resolve_timeout,
+    run_mcm_dist_resilient,
+    spmd,
+)
 
 __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
     "BAND",
     "BOR",
+    "Checkpoint",
+    "CheckpointStore",
     "CollectiveMismatchError",
     "CollectiveTrace",
     "CommAbort",
     "CommError",
     "CommStats",
     "Communicator",
+    "CrashSpec",
     "DeadlockError",
     "Fabric",
+    "FaultInjector",
+    "FaultPlan",
+    "FileCheckpointStore",
     "LAND",
     "LOR",
     "MAX",
     "MIN",
     "PROD",
+    "RECOVERABLE_ERRORS",
+    "RankKilledError",
     "ReduceOp",
+    "RetryPolicy",
     "RmaAccessLog",
     "RmaRaceError",
     "SUM",
     "SpmdResult",
+    "TransientCommError",
     "Window",
     "WindowError",
+    "resolve_timeout",
+    "run_mcm_dist_resilient",
     "spmd",
 ]

@@ -26,12 +26,13 @@ tests can check that measured message counts equal the model's predictions.
 from __future__ import annotations
 
 import copy
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from .errors import CollectiveMismatchError, CommError
+from .errors import CollectiveMismatchError, CommError, TransientCommError
 from .fabric import ANY_SOURCE, ANY_TAG, Fabric, _RESERVED_TAG_BASE
 
 
@@ -75,11 +76,20 @@ class CommStats:
     messages_sent: int = 0
     words_sent: int = 0
     by_op: dict[str, int] = field(default_factory=dict)
+    #: total transient-failure retries and their per-op breakdown (only
+    #: nonzero under fault injection; logical message counts above are
+    #: unaffected by retries — a retried send still counts once)
+    retries: int = 0
+    retries_by_op: dict[str, int] = field(default_factory=dict)
 
     def record(self, op: str, payload: Any) -> None:
         self.messages_sent += 1
         self.words_sent += _payload_words(payload)
         self.by_op[op] = self.by_op.get(op, 0) + 1
+
+    def record_retry(self, op: str) -> None:
+        self.retries += 1
+        self.retries_by_op[op] = self.retries_by_op.get(op, 0) + 1
 
 
 def _payload_words(payload: Any) -> int:
@@ -168,7 +178,41 @@ class Communicator:
 
     def _send_raw(self, dest: int, payload: Any, tag: int, op: str) -> None:
         self.stats.record(op, payload)
-        self.fabric.deliver(self.global_rank, self.group[dest], tag, payload)
+        self._deliver_with_faults(self.group[dest], tag, payload, op)
+
+    def _deliver_with_faults(self, dest_global: int, tag: int, payload: Any, op: str) -> None:
+        """Deliver one envelope, absorbing injected transient failures.
+
+        With no injector armed this is a single attribute check plus the
+        plain ``Fabric.deliver`` — the zero-cost-when-disabled path.  Under
+        injection, transient send failures are retried with capped
+        exponential backoff and counted on :class:`CommStats`; a send still
+        failing after the retry budget re-raises
+        :class:`TransientCommError` as a permanent failure.
+        """
+        fabric = self.fabric
+        faults = fabric.faults
+        if faults is None:
+            fabric.deliver(self.global_rank, dest_global, tag, payload)
+            return
+        policy = faults.retry
+        attempt = 0
+        while True:
+            try:
+                reorder_u = faults.on_send(self.global_rank)
+            except TransientCommError:
+                attempt += 1
+                self.stats.record_retry(op)
+                if attempt > policy.max_retries:
+                    raise TransientCommError(
+                        f"rank {self.global_rank}: send to fabric rank "
+                        f"{dest_global} (op {op}) still failing after "
+                        f"{policy.max_retries} retries"
+                    ) from None
+                time.sleep(policy.delay(attempt))
+                continue
+            fabric.deliver(self.global_rank, dest_global, tag, payload, reorder_u)
+            return
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
         """Block until a message matching (source, tag) arrives; return its
@@ -214,12 +258,12 @@ class Communicator:
 
     def _coll_send(self, dest: int, payload: Any, opname: str, seq: int) -> None:
         self.stats.record(opname, payload)
-        self.fabric.deliver(
-            self.global_rank,
+        self._deliver_with_faults(
             self.group[dest],
             self._coll_tag(seq),
             # Copy at send time (wire semantics): receivers own their data.
             (opname, self.comm_id, seq, _freeze(payload)),
+            opname,
         )
 
     def _coll_recv(self, source: int, opname: str, seq: int) -> Any:
@@ -245,7 +289,14 @@ class Communicator:
         Raises :class:`CollectiveMismatchError` immediately when this rank's
         n-th collective disagrees with a peer's n-th collective — op, root,
         or (for reductions) operator/payload signature.
+
+        This is also the collective-entry fault point: a plan scheduling a
+        crash at this rank's Nth collective fires here, before any peer
+        traffic for the collective is generated.
         """
+        faults = self.fabric.faults
+        if faults is not None:
+            faults.on_collective(self.global_rank)
         trace = self.fabric.collective_trace
         if trace is not None:
             trace.record(self.comm_id, seq, self.rank, self.size, (op, root, extra))
@@ -439,6 +490,7 @@ class Communicator:
         seq = self._next_seq()
         self._verify("split", seq)
         key = self.rank if key is None else key
+        self.fabric.last_blocked[self.global_rank] = ("split", self.comm_id, seq)
         new_id, members_parent_ranks = self.fabric.split_rendezvous(
             self.comm_id, seq, self.size, self.rank, color, key
         )

@@ -43,6 +43,27 @@ class RmaRaceError(WindowError):
     """
 
 
+class TransientCommError(CommError):
+    """A send or one-sided op failed transiently (injected lossy link).
+
+    Raised by the fault injector inside ``Communicator``/``Window``
+    operations; the runtime retries the attempt with capped exponential
+    backoff (see :class:`~repro.runtime.faults.RetryPolicy`) and only
+    re-raises once the retry budget is exhausted — at which point the
+    failure is treated as permanent by the caller.
+    """
+
+
+class RankKilledError(CommError):
+    """A rank was killed by the fault plan (simulated process death).
+
+    Unlike :class:`TransientCommError` this is never retried: the rank's
+    SPMD function unwinds, the executor aborts the fabric, and survivors
+    exit with :class:`CommAbort`.  Recovery, if any, happens one level up
+    in ``run_mcm_dist_resilient`` via checkpoint restart.
+    """
+
+
 class CommAbort(CommError):
     """Raised inside surviving ranks after another rank died.
 

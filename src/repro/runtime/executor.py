@@ -16,13 +16,36 @@ unchanged over mpi4py.
 
 from __future__ import annotations
 
+import os
 import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from .checkpoint import Checkpoint, CheckpointStore
 from .comm import Communicator, CommStats
-from .errors import CollectiveMismatchError, CommAbort
+from .errors import (
+    CollectiveMismatchError,
+    CommAbort,
+    DeadlockError,
+    RankKilledError,
+    TransientCommError,
+)
 from .fabric import Fabric
+from .faults import FaultInjector, FaultPlan
+
+#: Environment override for the deadlock/timeout window of every blocking
+#: runtime call (seconds); explicit ``timeout=`` arguments win over it.
+TIMEOUT_ENV = "REPRO_SPMD_TIMEOUT"
+
+
+def resolve_timeout(explicit: "float | None", default: float = 60.0) -> float:
+    """Timeout precedence: explicit argument > $REPRO_SPMD_TIMEOUT > default."""
+    if explicit is not None:
+        return float(explicit)
+    env = os.environ.get(TIMEOUT_ENV)
+    if env:
+        return float(env)
+    return default
 
 
 @dataclass
@@ -71,8 +94,10 @@ def spmd(
     nranks: int,
     fn: Callable[..., Any],
     *args: Any,
-    timeout: float = 60.0,
+    timeout: "float | None" = None,
     verify: bool = False,
+    faults: "FaultInjector | FaultPlan | None" = None,
+    join_grace: float = 5.0,
     **kwargs: Any,
 ) -> SpmdResult:
     """Run ``fn(comm, *args, **kwargs)`` on ``nranks`` simulated ranks.
@@ -85,7 +110,18 @@ def spmd(
         The SPMD program.  Its first argument is this rank's
         :class:`~repro.runtime.comm.Communicator`.
     timeout:
-        Deadlock-detection window in seconds for blocking calls.
+        Deadlock-detection window in seconds for blocking calls.  ``None``
+        (the default) resolves through ``$REPRO_SPMD_TIMEOUT`` and falls
+        back to 60 seconds.
+    faults:
+        Optional chaos: a :class:`~repro.runtime.faults.FaultInjector`
+        (or a :class:`~repro.runtime.faults.FaultPlan`, instantiated here)
+        injecting seeded rank crashes, transient send/RMA failures and
+        legal message reorderings.  ``None`` keeps every hook a single
+        attribute check.
+    join_grace:
+        Final join window (seconds) before a non-terminating rank is
+        reported via :class:`TimeoutError`; tests shrink it.
     verify:
         Arm the dynamic correctness verifiers: every collective entry is
         cross-checked against its peers' signatures (op, root, reduction
@@ -108,7 +144,10 @@ def spmd(
     exception chaining.  Secondary :class:`CommAbort` errors in other
     ranks (caused by the abort) are suppressed.
     """
-    fabric = Fabric(nranks, timeout=timeout, verify=verify)
+    timeout = resolve_timeout(timeout)
+    if isinstance(faults, FaultPlan):
+        faults = FaultInjector(faults, nranks)
+    fabric = Fabric(nranks, timeout=timeout, verify=verify, faults=faults)
     comms = [Communicator(fabric, comm_id=0, group=range(nranks), rank=r) for r in range(nranks)]
     outcomes = [_RankOutcome() for _ in range(nranks)]
 
@@ -134,7 +173,7 @@ def spmd(
         if t.is_alive():
             fabric.abort()
     for t in threads:
-        t.join(timeout=5.0)
+        t.join(timeout=join_grace)
 
     primary: tuple[int, BaseException] | None = None
     for r, oc in enumerate(outcomes):
@@ -150,10 +189,19 @@ def spmd(
         else:
             for r, oc in enumerate(outcomes):
                 if not oc.finished:
-                    raise TimeoutError(f"spmd rank {r} failed to terminate")
+                    raise TimeoutError(
+                        f"spmd rank {r} failed to terminate; "
+                        f"last blocked operation: {fabric.describe_blocked(r)}"
+                    )
     if primary is not None:
         rank, err = primary
-        raise type(err)(f"[spmd rank {rank}] {err}") from err
+        wrapped = type(err)(f"[spmd rank {rank}] {err}")
+        # Recovery context for resilient drivers: which rank died and how
+        # far the job had progressed (phase markers published via
+        # ``Fabric.note_progress``).
+        wrapped.spmd_rank = rank
+        wrapped.spmd_progress = dict(fabric.progress)
+        raise wrapped from err
 
     # A clean job must fully drain its collective traffic.  Leftovers mean
     # some ranks entered collectives that others skipped — a silent
@@ -188,3 +236,99 @@ def spmd(
         stats=[c.stats for c in comms],
         verify_summary=verify_summary,
     )
+
+
+#: Failure classes a resilient driver restarts from: simulated process
+#: death, the abort it causes in survivors, hangs, and permanently-failed
+#: (retry-exhausted) transient links.  Anything else — assertion errors,
+#: ValueError, verifier findings — is a program bug and propagates.
+RECOVERABLE_ERRORS = (
+    RankKilledError,
+    CommAbort,
+    DeadlockError,
+    TimeoutError,
+    TransientCommError,
+)
+
+
+def run_mcm_dist_resilient(
+    coo,
+    pr: int,
+    pc: int,
+    *,
+    faults: "FaultPlan | None" = None,
+    checkpoint_every: int = 1,
+    checkpoint_store: "CheckpointStore | None" = None,
+    max_restarts: int = 3,
+    timeout: "float | None" = None,
+    verify: bool = False,
+    restart_on: tuple = RECOVERABLE_ERRORS,
+    **mcm_kwargs: Any,
+):
+    """Self-healing MCM-DIST: shrink-and-restart recovery from checkpoints.
+
+    Runs the same job as ``run_mcm_dist(coo, pr, pc, **mcm_kwargs)`` but
+    survives rank deaths (injected by ``faults`` or otherwise): at every
+    ``checkpoint_every``-th phase boundary the job snapshots
+    ``(mate_row, mate_col, phase, rng_state)`` into ``checkpoint_store``
+    (in-memory by default; pass a
+    :class:`~repro.runtime.checkpoint.FileCheckpointStore` to survive the
+    process).  When the SPMD job fails with a recoverable error the fabric
+    is rebuilt from scratch — ULFM-style shrink-and-restart with a fresh
+    set of simulated processes — and the job resumes from the latest
+    checkpoint.  Because each completed phase leaves a valid matching,
+    the restarted run converges to the same maximum cardinality.
+
+    Crash events of the fault plan that already fired are disarmed on
+    restart (a process only dies once); transient/delay faults re-arm.
+
+    Returns ``(mate_r, mate_c, stats)`` with ``stats.restarts``,
+    ``stats.phases_replayed`` and ``stats.checkpoint_words`` recorded.
+    """
+    from ..matching.mcm_dist import mcm_dist_spmd  # local: avoid import cycle
+
+    store = checkpoint_store if checkpoint_store is not None else CheckpointStore()
+    disarmed: set = set()
+    restarts = 0
+    phases_replayed = 0
+    while True:
+        injector = (
+            FaultInjector(faults, pr * pc, disarmed=disarmed)
+            if faults is not None
+            else None
+        )
+        resume = store.latest()
+
+        def main(comm, resume=resume):
+            data = coo if comm.rank == 0 else None
+            return mcm_dist_spmd(
+                comm, data, pr, pc,
+                checkpoint_every=checkpoint_every,
+                checkpoint_store=store,
+                resume=resume,
+                **mcm_kwargs,
+            )
+
+        try:
+            result = spmd(pr * pc, main, timeout=timeout, verify=verify, faults=injector)
+            break
+        except restart_on as exc:
+            if injector is not None:
+                disarmed |= injector.fired_tokens()
+            restarts += 1
+            if restarts > max_restarts:
+                raise
+            reached = getattr(exc, "spmd_progress", {}).get("phase", 0)
+            latest = store.latest()
+            restart_from = latest.phase if latest is not None else 0
+            # phases the failed attempt had completed (it entered phase
+            # ``reached`` but died inside it) past the checkpoint the next
+            # attempt resumes from must run again
+            phases_replayed += max(0, reached - 1 - restart_from)
+
+    mate_r, mate_c, stats = result[0]
+    stats.verify_summary = result.verify_summary
+    stats.restarts = restarts
+    stats.phases_replayed = phases_replayed
+    stats.checkpoint_words = store.words_written
+    return mate_r, mate_c, stats

@@ -61,9 +61,21 @@ class Mailbox:
         self._queue: list[Envelope] = []
         self._cond = threading.Condition()
 
-    def deposit(self, env: Envelope) -> None:
+    def deposit(self, env: Envelope, reorder_u: "float | None" = None) -> None:
+        """Queue an envelope; ``reorder_u`` (injected delay) selects a seeded
+        insertion slot ahead of queued traffic, but never ahead of an
+        envelope from the same ``(source, tag)`` stream — the reordering a
+        real adaptively-routed interconnect may legally perform."""
         with self._cond:
-            self._queue.append(env)
+            if reorder_u is None or not self._queue:
+                self._queue.append(env)
+            else:
+                floor = 0
+                for i, queued in enumerate(self._queue):
+                    if queued.source == env.source and queued.tag == env.tag:
+                        floor = i + 1  # non-overtaking within the stream
+                pos = floor + int(reorder_u * (len(self._queue) + 1 - floor))
+                self._queue.insert(pos, env)
             self._cond.notify_all()
 
     def _match_index(self, source: int, tag: int) -> int | None:
@@ -79,6 +91,7 @@ class Mailbox:
         """Block until an envelope matching (source, tag) arrives; remove and
         return it."""
         deadline_step = self._fabric.timeout
+        self._fabric.last_blocked[self._owner] = ("recv", source, tag)
         with self._cond:
             while True:
                 if self._fabric.aborted:
@@ -203,11 +216,30 @@ class _SplitTable:
 class Fabric:
     """Shared interconnect for one SPMD job of ``nranks`` simulated ranks."""
 
-    def __init__(self, nranks: int, timeout: float = 60.0, verify: bool = False) -> None:
+    def __init__(
+        self,
+        nranks: int,
+        timeout: float = 60.0,
+        verify: bool = False,
+        faults: "Any | None" = None,
+    ) -> None:
         if nranks < 1:
             raise ValueError(f"nranks must be >= 1, got {nranks}")
         self.nranks = nranks
         self.timeout = timeout
+        #: Optional :class:`~repro.runtime.faults.FaultInjector`.  ``None``
+        #: (the default) keeps fault injection zero-cost: every hook site
+        #: guards on this attribute with a single ``is None`` check.
+        self.faults = faults
+        #: Per-rank record of the last blocking operation each rank entered
+        #: (``("recv", source, tag)`` or ``("split", comm_id, seq)``), kept
+        #: after the call returns so hung-rank diagnostics can name what a
+        #: stuck rank was last waiting on.
+        self.last_blocked: list[tuple | None] = [None] * nranks
+        #: Job-progress markers (e.g. ``{"phase": 3}``) published by
+        #: long-running SPMD programs; the executor copies them onto the
+        #: primary exception so recovery drivers can compute replay spans.
+        self.progress: dict[str, int] = {}
         #: When True the dynamic verifiers are armed: every collective call
         #: is checked against its peers' signatures and every one-sided
         #: window access is race-checked (see ``spmd(..., verify=True)``).
@@ -240,14 +272,42 @@ class Fabric:
         with self._split_lock:
             self._split_lock.notify_all()
 
-    def deliver(self, source: int, dest: int, tag: int, payload: Any) -> None:
+    def deliver(
+        self, source: int, dest: int, tag: int, payload: Any,
+        reorder_u: "float | None" = None,
+    ) -> None:
         if self.aborted:
             raise CommAbort(f"rank {source}: job aborted while sending to {dest}")
         if not 0 <= dest < self.nranks:
             raise ValueError(f"destination rank {dest} out of range [0, {self.nranks})")
         with self._serial_lock:
             serial = next(self._serial)
-        self.mailboxes[dest].deposit(Envelope(source, dest, tag, payload, serial))
+        self.mailboxes[dest].deposit(Envelope(source, dest, tag, payload, serial), reorder_u)
+
+    def note_progress(self, key: str, value: int) -> None:
+        """Publish a monotone job-progress marker (see ``progress``)."""
+        if value > self.progress.get(key, -1):
+            self.progress[key] = value
+
+    def describe_blocked(self, rank: int) -> str:
+        """Human description of ``rank``'s last blocking operation."""
+        entry = self.last_blocked[rank]
+        if entry is None:
+            return "never blocked in the runtime (busy or stuck outside it)"
+        kind = entry[0]
+        if kind == "split":
+            _, comm_id, seq = entry
+            return f"split rendezvous on comm {comm_id} (collective seq {seq})"
+        _, source, tag = entry
+        peer = "ANY_SOURCE" if source == ANY_SOURCE else f"rank {source}"
+        if tag >= _RESERVED_TAG_BASE:
+            packed = tag - _RESERVED_TAG_BASE
+            return (
+                f"collective recv from {peer} "
+                f"(comm {packed >> 32}, collective seq {packed & 0xFFFFFFFF})"
+            )
+        tag_s = "ANY_TAG" if tag == ANY_TAG else str(tag)
+        return f"recv(source={peer}, tag={tag_s})"
 
     def collect(self, rank: int, source: int, tag: int) -> Envelope:
         return self.mailboxes[rank].collect(source, tag)

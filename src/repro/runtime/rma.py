@@ -25,13 +25,14 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from dataclasses import dataclass
 from typing import Any
 
 import numpy as np
 
 from .comm import Communicator
-from .errors import RmaRaceError, WindowError
+from .errors import RmaRaceError, TransientCommError, WindowError
 
 _window_ids = itertools.count(1)
 _window_id_lock = threading.Lock()
@@ -160,6 +161,7 @@ class Window:
         comm.barrier()  # window is usable only after all ranks attached
         self.rma_ops = 0
         self.rma_words = 0
+        self.rma_retries = 0
         self._epoch_open = True  # passive-target: always accessible
 
     # A per-window, per-target lock list shared by all rank-local Window
@@ -182,12 +184,23 @@ class Window:
         """Collective synchronization separating access epochs
         (``MPI_Win_fence``).  A barrier suffices under our always-consistent
         shared-memory emulation."""
+        if not self._epoch_open:
+            raise WindowError(
+                f"fence on window {self.win_id} after Window.free(): epoch "
+                "operations on a freed window are erroneous (MPI_Win_fence "
+                "on a freed window)"
+            )
         if self._tracker is not None:
             self._tracker.advance(self.comm.rank)
         self.comm.barrier()
 
     def free(self) -> None:
         """Collectively release the window (``MPI_Win_free``)."""
+        if not self._epoch_open:
+            raise WindowError(
+                f"double free of window {self.win_id}: Window.free() was "
+                "already called"
+            )
         self.comm.barrier()
         self._epoch_open = False
         if self.comm.rank == 0:
@@ -226,6 +239,31 @@ class Window:
                 self.comm.rank, op, target, index, write=write, atomic=atomic
             )
 
+    def _fault_point(self, op: str) -> None:
+        """Injected-fault site for one one-sided op: scheduled crashes
+        propagate, transient failures are retried with capped backoff
+        (retries land on ``rma_retries`` and ``comm.stats``)."""
+        faults = self.comm.fabric.faults
+        if faults is None:
+            return
+        policy = faults.retry
+        attempt = 0
+        while True:
+            try:
+                faults.on_rma(self.comm.global_rank)
+                return
+            except TransientCommError:
+                attempt += 1
+                self.rma_retries += 1
+                self.comm.stats.record_retry(f"rma_{op}")
+                if attempt > policy.max_retries:
+                    raise TransientCommError(
+                        f"rank {self.comm.global_rank}: RMA {op} on window "
+                        f"{self.win_id} still failing after "
+                        f"{policy.max_retries} retries"
+                    ) from None
+                time.sleep(policy.delay(attempt))
+
     def get(self, target: int, index: Any) -> Any:
         """Read element(s) at ``index`` from ``target``'s window memory.
 
@@ -235,6 +273,7 @@ class Window:
         arr = self._target_array(target)
         self._check_index(arr, index)
         self._charge(index)
+        self._fault_point("get")
         self._track("get", target, index, write=False, atomic=False)
         with self._locks[target]:
             out = arr[index]
@@ -245,6 +284,7 @@ class Window:
         arr = self._target_array(target)
         self._check_index(arr, index)
         self._charge(index)
+        self._fault_point("put")
         self._track("put", target, index, write=True, atomic=False)
         with self._locks[target]:
             arr[index] = value
@@ -256,6 +296,7 @@ class Window:
         arr = self._target_array(target)
         self._check_index(arr, index)
         self._charge(index)
+        self._fault_point("accumulate")
         self._track("accumulate", target, index, write=True, atomic=True)
         with self._locks[target]:
             op.at(arr, index, value)
@@ -271,6 +312,7 @@ class Window:
         arr = self._target_array(target)
         self._check_index(arr, int(index))
         self._charge(index)
+        self._fault_point("fetch_and_op")
         self._track("fetch_and_op", target, index, write=True, atomic=True)
         with self._locks[target]:
             old = arr[index]
@@ -285,6 +327,7 @@ class Window:
         arr = self._target_array(target)
         self._check_index(arr, int(index))
         self._charge(index)
+        self._fault_point("compare_and_swap")
         self._track("compare_and_swap", target, index, write=True, atomic=True)
         with self._locks[target]:
             old = arr[index]

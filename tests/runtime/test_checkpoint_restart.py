@@ -1,0 +1,159 @@
+"""Checkpoint stores and the self-healing MCM-DIST recovery driver."""
+
+import numpy as np
+import pytest
+
+from repro.matching.mcm_dist import run_mcm_dist
+from repro.matching.validate import cardinality, is_valid_matching, verify_maximum
+from repro.runtime import (
+    Checkpoint,
+    CheckpointStore,
+    FaultPlan,
+    FileCheckpointStore,
+    RankKilledError,
+    run_mcm_dist_resilient,
+)
+from repro.sparse import COO, CSC
+
+
+def random_coo(n1, n2, m, seed):
+    rng = np.random.default_rng(seed)
+    return COO(n1, n2, rng.integers(0, n1, m), rng.integers(0, n2, m))
+
+
+# -- stores ------------------------------------------------------------------
+
+def _ck(phase, n=6):
+    return Checkpoint(
+        phase=phase,
+        mate_row=np.arange(n, dtype=np.int64),
+        mate_col=np.arange(n, dtype=np.int64),
+    )
+
+
+def test_memory_store_keeps_latest_and_counts_words():
+    store = CheckpointStore()
+    assert store.latest() is None
+    store.save(_ck(1))
+    store.save(_ck(3))
+    assert store.latest().phase == 3
+    store.save(_ck(2))  # stale snapshot never rolls the store backwards
+    assert store.latest().phase == 3
+    assert store.saves == 2
+    assert store.words_written == 2 * (6 + 6 + 2)
+    store.clear()
+    assert store.latest() is None
+
+
+def test_file_store_round_trips_and_survives_new_instance(tmp_path):
+    d = str(tmp_path / "cks")
+    store = FileCheckpointStore(d)
+    store.save(_ck(1))
+    store.save(_ck(2))
+    # a fresh store instance (fresh "process") sees the latest snapshot
+    again = FileCheckpointStore(d)
+    ck = again.latest()
+    assert ck.phase == 2
+    assert np.array_equal(ck.mate_row, np.arange(6))
+    assert np.array_equal(ck.mate_col, np.arange(6))
+    again.clear()
+    assert again.latest() is None
+
+
+def test_file_store_ignores_leftover_tmp_files(tmp_path):
+    d = str(tmp_path / "cks")
+    store = FileCheckpointStore(d)
+    store.save(_ck(4))
+    # a crash mid-save leaves only a .tmp file, never a truncated .npz
+    (tmp_path / "cks" / "ck_phase000009.npz.tmp").write_bytes(b"garbage")
+    assert store.latest().phase == 4
+
+
+def test_checkpoint_words_property():
+    assert _ck(1, n=10).words == 22
+
+
+# -- resilient driver --------------------------------------------------------
+
+def test_resilient_without_faults_matches_plain_run():
+    coo = random_coo(40, 45, 260, 7)
+    plain = run_mcm_dist(coo, 2, 2)
+    mate_r, mate_c, stats = run_mcm_dist_resilient(coo, 2, 2)
+    assert np.array_equal(mate_r, plain[0])
+    assert np.array_equal(mate_c, plain[1])
+    assert stats.restarts == 0
+    assert stats.phases_replayed == 0
+    assert stats.checkpoint_words > 0  # phase snapshots were written
+
+
+def test_resilient_recovers_from_send_crash():
+    coo = random_coo(40, 45, 260, 11)
+    a = CSC.from_coo(coo)
+    plain_card = cardinality(run_mcm_dist(coo, 2, 2)[0])
+    plan = FaultPlan.parse("crash:rank=1,at=send:40", seed=0)
+    mate_r, mate_c, stats = run_mcm_dist_resilient(coo, 2, 2, faults=plan)
+    assert stats.restarts == 1
+    assert cardinality(mate_r) == plain_card
+    assert is_valid_matching(a, mate_r, mate_c)
+
+
+def test_resilient_recovers_from_collective_crash():
+    coo = random_coo(35, 35, 200, 3)
+    plain_card = cardinality(run_mcm_dist(coo, 2, 2)[0])
+    plan = FaultPlan.parse("crash:rank=2,at=collective:25", seed=0)
+    mate_r, _, stats = run_mcm_dist_resilient(coo, 2, 2, faults=plan)
+    assert stats.restarts == 1
+    assert cardinality(mate_r) == plain_card
+
+
+def test_resilient_gives_up_after_max_restarts():
+    coo = random_coo(30, 30, 150, 5)
+    # phase 1 crashes for EVERY rank spec occurrence; with 0 allowed
+    # restarts the first death is fatal
+    plan = FaultPlan.parse("crash:rank=0,at=collective:5", seed=0)
+    with pytest.raises(RankKilledError):
+        run_mcm_dist_resilient(coo, 2, 2, faults=plan, max_restarts=0)
+
+
+def test_resilient_with_file_store(tmp_path):
+    coo = random_coo(40, 40, 230, 13)
+    plain_card = cardinality(run_mcm_dist(coo, 2, 2)[0])
+    store = FileCheckpointStore(str(tmp_path / "cks"))
+    plan = FaultPlan.parse("crash:rank=any,at=phase:every", seed=1)
+    mate_r, _, stats = run_mcm_dist_resilient(
+        coo, 2, 2, faults=plan, checkpoint_store=store, max_restarts=20
+    )
+    assert cardinality(mate_r) == plain_card
+    assert stats.restarts >= 1
+    assert store.latest() is not None  # snapshots really hit the disk
+    assert stats.checkpoint_words == store.words_written
+
+
+def test_resilient_sparse_checkpoint_cadence_replays_phases():
+    """checkpoint_every=3 trades snapshot volume for replay: a crash in a
+    later phase re-runs the phases since the last snapshot."""
+    coo = random_coo(60, 60, 200, 17)  # sparse: needs several phases
+    plain = run_mcm_dist(coo, 2, 2, init="none")
+    plain_card = cardinality(plain[0])
+    assert plain[2].phases >= 3
+    plan = FaultPlan.parse(f"crash:rank=any,at=phase:{plain[2].phases - 1}", seed=2)
+    mate_r, _, stats = run_mcm_dist_resilient(
+        coo, 2, 2, init="none", faults=plan, checkpoint_every=3, max_restarts=5
+    )
+    assert cardinality(mate_r) == plain_card
+    assert stats.restarts == 1
+    assert stats.phases_replayed >= 1
+
+
+def test_resilient_result_is_still_maximum():
+    coo = random_coo(45, 50, 270, 23)
+    a = CSC.from_coo(coo)
+    plan = FaultPlan.parse(
+        "crash:rank=any,at=phase:every;transient:p=0.02;delay:p=0.1", seed=4
+    )
+    mate_r, mate_c, stats = run_mcm_dist_resilient(
+        coo, 2, 2, faults=plan, max_restarts=20
+    )
+    assert is_valid_matching(a, mate_r, mate_c)
+    assert verify_maximum(a, mate_r, mate_c)
+    assert stats.restarts >= 1

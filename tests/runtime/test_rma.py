@@ -190,3 +190,23 @@ def test_two_windows_coexist():
     res = spmd(2, main)
     for v in res:
         assert v == (1, 2)
+
+
+def test_fence_after_free_raises():
+    def main(comm):
+        win = Window(comm, np.zeros(2, dtype=np.int64))
+        win.free()
+        win.fence()
+
+    with pytest.raises(WindowError, match="after Window.free"):
+        spmd(2, main, timeout=5.0)
+
+
+def test_double_free_raises():
+    def main(comm):
+        win = Window(comm, np.zeros(2, dtype=np.int64))
+        win.free()
+        win.free()
+
+    with pytest.raises(WindowError, match="double free"):
+        spmd(2, main, timeout=5.0)

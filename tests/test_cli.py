@@ -70,3 +70,48 @@ def test_spmd_verify_reports_checked_counts(capsys):
     out = capsys.readouterr().out
     assert "verification: PASSED" in out
     assert "collective entries cross-checked" in out
+
+
+def test_spmd_timeout_flag(capsys):
+    assert main(["spmd", "--rmat", "er:6", "--pr", "2", "--pc", "2",
+                 "--timeout", "30"]) == 0
+    assert "matched" in capsys.readouterr().out
+
+
+def test_spmd_chaos_recovers_and_reports(capsys):
+    assert main(["spmd", "--rmat", "er:6", "--pr", "2", "--pc", "2",
+                 "--chaos", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "chaos seed 1" in out
+    assert "restart(s)" in out and "checkpoint words" in out
+    assert "matched" in out
+
+
+def test_spmd_chaos_matches_fault_free_cardinality(capsys):
+    assert main(["spmd", "--rmat", "er:6", "--pr", "2", "--pc", "2"]) == 0
+    plain = capsys.readouterr().out
+    assert main(["spmd", "--rmat", "er:6", "--pr", "2", "--pc", "2",
+                 "--chaos", "3",
+                 "--chaos-plan", "crash:rank=any,at=phase:every;delay:p=0.2",
+                 "--max-restarts", "20"]) == 0
+    chaos = capsys.readouterr().out
+    # same recovered cardinality (phase/iteration counts differ: the last
+    # successful attempt resumed from a checkpoint)
+    import re
+
+    card = lambda s: re.search(r"matched ([\d,]+)", s).group(1)  # noqa: E731
+    assert card(chaos) == card(plain)
+
+
+def test_spmd_chaos_with_checkpoint_dir(tmp_path, capsys):
+    ckdir = tmp_path / "cks"
+    assert main(["spmd", "--rmat", "er:6", "--pr", "2", "--pc", "2",
+                 "--chaos", "0", "--checkpoint-every", "2",
+                 "--checkpoint-dir", str(ckdir), "--max-restarts", "20"]) == 0
+    assert any(ckdir.glob("ck_phase*.npz"))  # snapshots persisted to disk
+
+
+def test_spmd_chaos_rejects_bad_plan():
+    with pytest.raises(ValueError):
+        main(["spmd", "--rmat", "er:6", "--chaos", "0",
+              "--chaos-plan", "explode:p=1"])
