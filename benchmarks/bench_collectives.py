@@ -1,0 +1,262 @@
+"""Machine-readable perf baseline for the latency-aware collective engine.
+
+Two artifacts, committed at the repo root so CI can diff against them:
+
+* ``BENCH_collectives.json`` — micro benchmarks: per-collective merged
+  message/word/step counters for the engine algorithms vs the naive
+  baselines at p=4 and p=9 (the 2×2 and 3×3 grid communicator sizes);
+* ``BENCH_spmd.json`` — end-to-end MCM-DIST runs (er:7 on 2×2, er:9 on
+  3×3, direction=auto) under the engine and naive configs: phases, words
+  (expand/fold/total), wall-clock phase times, and the per-algorithm
+  collective breakdown.
+
+All counters are deterministic (the simulated fabric counts logical
+messages, not bytes on a wire); only the ``seconds_*`` fields vary run to
+run and they are excluded from regression checks.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_collectives.py           # full, writes JSONs
+    PYTHONPATH=src python benchmarks/bench_collectives.py --quick   # skip er:9
+    PYTHONPATH=src python benchmarks/bench_collectives.py --quick --check
+        # compare counters against the committed JSONs; exit 1 on any
+        # >10% regression (more messages/words/steps than the baseline)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.graphs.rmat import er
+from repro.matching.mcm_dist import run_mcm_dist
+from repro.runtime import DEFAULT_CONFIG, NAIVE_CONFIG, SUM
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+COLLECTIVES_JSON = "BENCH_collectives.json"
+SPMD_JSON = "BENCH_spmd.json"
+
+#: micro-bench shape: CALLS calls per collective, 8-word payloads (the
+#: small-message regime the engine targets)
+CALLS = 4
+PAYLOAD = 8
+MICRO_SIZES = (4, 9)
+TOLERANCE = 0.10
+
+
+# ---------------------------------------------------------------------------
+# micro benchmarks
+# ---------------------------------------------------------------------------
+
+
+def _merged_by_alg(result) -> dict:
+    out: dict = {}
+    for s in result.stats:
+        for key, d in s.by_alg.items():
+            acc = out.setdefault(key, dict.fromkeys(d, 0))
+            for f, v in d.items():
+                acc[f] += v
+    return out
+
+
+def _micro_prog(comm):
+    a = np.arange(PAYLOAD, dtype=np.int64)
+    for _ in range(CALLS):
+        comm.bcast(a if comm.rank == 0 else None, root=0)
+    for _ in range(CALLS):
+        comm.reduce(a + comm.rank, op=SUM, root=0)
+    for _ in range(CALLS):
+        comm.allreduce(a + comm.rank, op=SUM)
+    for _ in range(CALLS):
+        comm.allgatherv(a + comm.rank)
+    for _ in range(CALLS):
+        comm.alltoallv([a + comm.rank] * comm.size)
+    return None
+
+
+def run_micro() -> dict:
+    from repro.runtime import spmd
+
+    micro: dict = {}
+    for p in MICRO_SIZES:
+        per_op: dict = {}
+        for label, cfg in (("engine", DEFAULT_CONFIG), ("naive", NAIVE_CONFIG)):
+            by_alg = _merged_by_alg(spmd(p, _micro_prog, comm_config=cfg))
+            for key, d in by_alg.items():
+                op, _, alg = key.partition(":")
+                per_op.setdefault(op, {})[label] = {
+                    "alg": alg,
+                    "calls": d["calls"],
+                    "messages": d["messages"],
+                    "words": d["words"],
+                    "steps": d["steps"],
+                    # steps are identical on every rank; per-call = the
+                    # latency term the α-β model charges one instance
+                    "steps_per_call": d["steps"] // max(1, d["calls"]),
+                }
+        micro[f"p={p}"] = per_op
+    return micro
+
+
+# ---------------------------------------------------------------------------
+# end-to-end SPMD runs
+# ---------------------------------------------------------------------------
+
+SPMD_CASES = {
+    "er7": {"scale": 7, "pr": 2, "pc": 2},
+    "er9": {"scale": 9, "pr": 3, "pc": 3},
+}
+
+
+def run_spmd_case(scale: int, pr: int, pc: int) -> dict:
+    coo = er(scale=scale, seed=1)
+    out: dict = {"graph": f"er:{scale}", "grid": f"{pr}x{pc}"}
+    mates = {}
+    for label, cfg in (("engine", DEFAULT_CONFIG), ("naive", NAIVE_CONFIG)):
+        t0 = time.perf_counter()
+        mate_r, mate_c, stats = run_mcm_dist(
+            coo, pr, pc, direction="auto", comm_config=cfg
+        )
+        dt = time.perf_counter() - t0
+        mates[label] = (mate_r, mate_c)
+        out[label] = {
+            "cardinality": int((mate_r != -1).sum()),
+            "phases": stats.phases,
+            "iterations": stats.iterations,
+            "expand_words": stats.expand_words,
+            "fold_words": stats.fold_words,
+            "total_words": stats.total_words,
+            "seconds_total": round(dt, 4),
+            "seconds_per_phase": round(dt / max(1, stats.phases), 4),
+            "comm_by_alg": stats.comm_by_alg,
+        }
+    # the engine is an optimization, not a semantic change
+    assert np.array_equal(mates["engine"][0], mates["naive"][0]), "mate_r diverged"
+    assert np.array_equal(mates["engine"][1], mates["naive"][1]), "mate_c diverged"
+    return out
+
+
+# ---------------------------------------------------------------------------
+# acceptance + regression checks
+# ---------------------------------------------------------------------------
+
+
+def assert_acceptance(micro: dict, spmd_runs: dict) -> None:
+    """The PR's perf criteria, asserted on freshly measured numbers."""
+    p9 = micro["p=9"]
+    for op in ("allgather", "allreduce", "bcast"):
+        eng = p9[op]["engine"]["steps"]
+        nai = p9[op]["naive"]["steps"]
+        assert 2 * eng <= nai, f"{op} steps at p=9: engine {eng} vs naive {nai}"
+        print(f"  p=9 {op:<10} steps: engine {eng:>4} vs naive {nai:>4} "
+              f"({nai / eng:.1f}x fewer)")
+    if "er9" in spmd_runs:
+        eng = spmd_runs["er9"]["engine"]["fold_words"]
+        nai = spmd_runs["er9"]["naive"]["fold_words"]
+        assert eng <= nai, f"er9 fold words regressed: engine {eng} vs naive {nai}"
+        print(f"  er9 fold words: engine {eng:,} vs naive {nai:,}")
+
+
+def _compare(path: str, current, committed, problems: list) -> None:
+    if isinstance(committed, dict):
+        if not isinstance(current, dict):
+            return
+        for key, base in committed.items():
+            if key.startswith("seconds"):
+                continue
+            if key in current:
+                _compare(f"{path}/{key}", current[key], base, problems)
+        return
+    if isinstance(committed, bool) or not isinstance(committed, (int, float)):
+        if current != committed:
+            problems.append(f"{path}: {committed!r} -> {current!r}")
+        return
+    if isinstance(current, (int, float)) and current > committed * (1 + TOLERANCE):
+        problems.append(
+            f"{path}: {committed} -> {current} "
+            f"(+{100 * (current / committed - 1):.1f}% > {100 * TOLERANCE:.0f}%)"
+        )
+
+
+def check_against_committed(name: str, current: dict, root: Path) -> list:
+    baseline_path = root / name
+    if not baseline_path.exists():
+        return [f"{name}: committed baseline missing at {baseline_path}"]
+    problems: list = []
+    _compare(name, current, json.loads(baseline_path.read_text()), problems)
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# driver
+# ---------------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="skip the er:9 end-to-end case (CI smoke mode)")
+    ap.add_argument("--check", action="store_true",
+                    help="compare counters against the committed JSONs "
+                         "instead of overwriting them; exit 1 on regression")
+    ap.add_argument("--out-dir", default=str(REPO_ROOT), metavar="DIR",
+                    help="where to write/read the BENCH_*.json files")
+    args = ap.parse_args(argv)
+    root = Path(args.out_dir)
+
+    print("micro benchmarks (engine vs naive counters)...")
+    micro = run_micro()
+    collectives = {
+        "meta": {
+            "calls_per_collective": CALLS,
+            "payload_words": PAYLOAD,
+            "sizes": list(MICRO_SIZES),
+            "note": "counters merged over all ranks; steps are the "
+                    "sequential round counts of the α-β latency term",
+        },
+        "micro": micro,
+    }
+
+    spmd_runs: dict = {}
+    for name, case in SPMD_CASES.items():
+        if args.quick and name == "er9":
+            continue
+        print(f"end-to-end {case['scale']=} grid {case['pr']}x{case['pc']}...")
+        spmd_runs[name] = run_spmd_case(**case)
+    spmd_doc = {"direction": "auto", "runs": spmd_runs}
+
+    print("acceptance criteria:")
+    assert_acceptance(micro, spmd_runs)
+
+    if args.check:
+        problems = check_against_committed(COLLECTIVES_JSON, collectives, root)
+        problems += check_against_committed(SPMD_JSON, spmd_doc, root)
+        if problems:
+            print(f"\nPERF REGRESSION vs committed baseline (>{100 * TOLERANCE:.0f}%):")
+            for p in problems:
+                print(f"  {p}")
+            return 1
+        print("\nno perf regression vs committed baseline")
+        return 0
+
+    for name, doc in ((COLLECTIVES_JSON, collectives), (SPMD_JSON, spmd_doc)):
+        path = root / name
+        if args.quick and path.exists():
+            # quick mode must not truncate the committed full baseline:
+            # merge the freshly measured subset over it
+            old = json.loads(path.read_text())
+            if name == SPMD_JSON:
+                old["runs"].update(doc["runs"])
+                doc = old
+        path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -160,6 +160,26 @@ def cmd_spmd(args) -> int:
               f"collective entries cross-checked, "
               f"{vs.get('rma_ops_checked', 0):,} one-sided accesses "
               f"race-checked, no divergence or races")
+    if args.stats_json:
+        import dataclasses
+        import json
+
+        def _jsonable(x):
+            if isinstance(x, np.integer):
+                return int(x)
+            if isinstance(x, np.floating):
+                return float(x)
+            if isinstance(x, np.ndarray):
+                return x.tolist()
+            raise TypeError(f"not JSON-serializable: {type(x).__name__}")
+
+        payload = dataclasses.asdict(stats)
+        payload["cardinality"] = card
+        payload["grid"] = {"pr": args.pr, "pc": args.pc}
+        with open(args.stats_json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True, default=_jsonable)
+            fh.write("\n")
+        print(f"stats written to {args.stats_json}")
     return 0
 
 
@@ -227,6 +247,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="give up after M fabric rebuilds")
     p.add_argument("--checkpoint-dir", default=None, metavar="DIR",
                    help="persist checkpoints as .npz files (default: in-memory)")
+    p.add_argument("--stats-json", default=None, metavar="PATH",
+                   help="dump the run's DistStats (phases, word counters, "
+                        "per-algorithm collective counters, recovery counters) "
+                        "as JSON")
     p.set_defaults(fn=cmd_spmd)
 
     p = sub.add_parser("lint", help="static SPMD correctness analysis")

@@ -31,6 +31,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..runtime.comm import SUM, Communicator
+from ..runtime.pack import pack_arrays, pack_indices, unpack_arrays, unpack_indices
 from ..sparse.semiring import SR_MIN_PARENT, Semiring, reduce_candidates
 from ..sparse.spvec import NULL
 from .distvec import DistDenseVec, DistVertexFrontier
@@ -41,21 +42,46 @@ def route(comm: Communicator, dest: np.ndarray, *arrays: np.ndarray) -> tuple[np
     """Deliver ``arrays`` entries to communicator ranks ``dest``.
 
     All arrays must be parallel (equal length).  Returns the received
-    arrays, concatenated in source-rank order.  One personalized
-    all-to-all.
+    arrays — dtypes preserved, empty results included — concatenated in
+    source-rank order.  One personalized all-to-all; with
+    ``comm.config.pack`` each destination's arrays travel as ONE packed
+    struct-of-arrays buffer (:mod:`repro.runtime.pack`).
     """
+    arrays = tuple(np.asarray(a) for a in arrays)
     dest = np.asarray(dest, dtype=np.int64)
     order = np.argsort(dest, kind="stable")
     sorted_dest = dest[order]
     cuts = np.searchsorted(sorted_dest, np.arange(comm.size + 1))
-    payloads = [
-        tuple(a[order][cuts[r]:cuts[r + 1]] for a in arrays) for r in range(comm.size)
-    ]
-    received = comm.alltoallv(payloads)
+    sorted_arrays = [a[order] for a in arrays]
+    if comm.config.pack:
+        payloads = [
+            pack_arrays(*(sa[cuts[r]:cuts[r + 1]] for sa in sorted_arrays))
+            for r in range(comm.size)
+        ]
+        parts = [unpack_arrays(buf) for buf in comm.alltoallv(payloads)]
+    else:
+        payloads = [
+            tuple(sa[cuts[r]:cuts[r + 1]] for sa in sorted_arrays)
+            for r in range(comm.size)
+        ]
+        parts = comm.alltoallv(payloads)
     return tuple(
-        np.concatenate([r[k] for r in received]) if received else np.empty(0, np.int64)
+        np.concatenate([p[k] for p in parts]) if parts else np.empty(0, arrays[k].dtype)
         for k in range(len(arrays))
     )
+
+
+def allgather_arrays(comm: Communicator, *arrays: np.ndarray) -> "list[tuple[np.ndarray, ...]]":
+    """Allgather parallel arrays, one packed buffer per rank when enabled.
+
+    Returns one tuple of arrays per source rank, in rank order — the
+    multi-array analogue of ``comm.allgatherv((a, b))``, used by the expand
+    phases for their (idx, root) pairs.
+    """
+    if comm.config.pack:
+        pieces = comm.allgatherv(pack_arrays(*arrays))
+        return [unpack_arrays(buf) for buf in pieces]
+    return comm.allgatherv(tuple(arrays))
 
 
 def _fold_and_reduce(
@@ -103,7 +129,7 @@ def spmv(
     # -- expand: assemble the frontier entries of my column block.
     # colcomm ranks own consecutive sub-ranges of block j, so rank-ordered
     # concatenation is already sorted by global column id.
-    pieces = grid.colcomm.allgatherv((fc.idx, fc.root))
+    pieces = allgather_arrays(grid.colcomm, fc.idx, fc.root)
     gcols = np.concatenate([p[0] for p in pieces])
     groots = np.concatenate([p[1] for p in pieces])
 
@@ -149,7 +175,7 @@ def spmv_bottomup(
         raise ValueError("spmv_bottomup expects a row-oriented visited vector")
 
     # -- expand: dense per-block frontier lookup (column block j)
-    pieces = grid.colcomm.allgatherv((fc.idx, fc.root))
+    pieces = allgather_arrays(grid.colcomm, fc.idx, fc.root)
     gcols = np.concatenate([p[0] for p in pieces])
     groots = np.concatenate([p[1] for p in pieces])
     root_of = np.full(A.block.ncols, NULL, dtype=np.int64)
@@ -157,10 +183,17 @@ def spmv_bottomup(
 
     # -- unvisited exchange: assemble row block i's unvisited rows.  rowcomm
     # ranks own consecutive sub-chunks of block i, so rank-ordered
-    # concatenation is already sorted by global row id.
+    # concatenation is already sorted by global row id.  Bottom-up steps run
+    # exactly when the unvisited set is wide, so the bitmap encoding (one
+    # bit per row of the sub-chunk instead of one word per unvisited row)
+    # usually wins — pack_indices picks per sender by density.
     mine = np.flatnonzero(pi_r.local == NULL) + pi_r.lo
-    upieces = grid.rowcomm.allgatherv(mine)
-    unvisited = np.concatenate(upieces) - A.row_lo
+    if grid.rowcomm.config.bitmap_frontiers:
+        upieces = grid.rowcomm.allgatherv(pack_indices(mine, pi_r.lo, pi_r.hi))
+        unvisited = np.concatenate([unpack_indices(b) for b in upieces]) - A.row_lo
+    else:
+        upieces = grid.rowcomm.allgatherv(mine)
+        unvisited = np.concatenate(upieces) - A.row_lo
 
     # -- pull through the cached CSR mirror, filter by frontier membership
     cand_rows, cand_cols = A.block.explode_rows(unvisited)
@@ -223,6 +256,13 @@ def invert_route(
 
 
 def allgather_values(comm: Communicator, values: np.ndarray) -> np.ndarray:
-    """PRUNE's gather: replicate a (small) value set on every rank."""
+    """PRUNE's gather: replicate a (small) value set on every rank.
+
+    The result keeps ``values``' dtype, including when every rank
+    contributes an empty array.
+    """
+    values = np.asarray(values)
     pieces = comm.allgatherv(values)
-    return np.concatenate(pieces) if pieces else np.empty(0, np.int64)
+    if not pieces:
+        return np.empty(0, values.dtype)
+    return np.concatenate(pieces)

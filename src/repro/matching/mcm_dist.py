@@ -75,6 +75,10 @@ class DistStats:
     expand_words: int = 0
     fold_words: int = 0
     total_words: int = 0
+    #: grid-wide per-algorithm collective counters, summed over all ranks and
+    #: the grid/row/column communicators: ``{"op:alg": {"calls", "messages",
+    #: "words", "steps"}}`` (see :attr:`repro.runtime.comm.CommStats.by_alg`)
+    comm_by_alg: "dict[str, dict[str, int]] | None" = None
     #: recovery counters, filled by ``run_mcm_dist_resilient``: fabric
     #: rebuilds after failures, completed phases re-executed because they
     #: post-dated the restart checkpoint, and 8-byte words written to the
@@ -360,12 +364,18 @@ def _save_checkpoint(
     """Snapshot the globally assembled matching after a completed phase.
 
     The assembly is collective (allgather on the grid communicator); only
-    rank 0 writes to the store, so file-backed stores see one writer.
+    rank 0 writes to the store, so file-backed stores see one writer.  The
+    closing barrier orders the write against every peer's progress: no rank
+    can pass this checkpoint (and reach the next crashable phase boundary)
+    until rank 0 has durably saved it, which is what makes the restart
+    trajectory of a seeded fault plan deterministic rather than dependent
+    on how far ahead the allgather let individual ranks run.
     """
     g_r = mate_r.to_global()
     g_c = mate_c.to_global()
     if grid.comm.rank == 0:
         store.save(Checkpoint(phase=phase, mate_row=g_r, mate_col=g_c, rng_state=None))
+    grid.comm.barrier()
     stats.checkpoint_words += g_r.size + g_c.size + 2
 
 
@@ -549,7 +559,7 @@ def mcm_dist_spmd(
         grid.comm.allreduce(int((mate_r.local != NULL).sum()), op=SUM)
     )
     stats.edges_examined = int(grid.comm.allreduce(edges_local, op=SUM))
-    # snapshot BEFORE the summing allreduce so it doesn't count itself
+    # snapshot BEFORE the summing collectives so they don't count themselves
     words = np.array(
         [
             grid.colcomm.stats.words_sent,
@@ -558,10 +568,33 @@ def mcm_dist_spmd(
         ],
         dtype=np.int64,
     )
+    my_by_alg: dict[str, dict[str, int]] = {}
+    for c in (grid.colcomm, grid.rowcomm, grid.comm):
+        for key, d in c.stats.by_alg.items():
+            agg = my_by_alg.setdefault(
+                key, {"calls": 0, "messages": 0, "words": 0, "steps": 0}
+            )
+            for field_name, v in d.items():
+                agg[field_name] += v
     words = grid.comm.allreduce(words, op=SUM)
     stats.expand_words = int(words[0])
     stats.fold_words = int(words[1])
     stats.total_words = int(words[0] + words[1] + words[2])
+    # grid-wide per-algorithm counters: fold the per-rank dicts at rank 0,
+    # replicate the merged table
+    all_by_alg = grid.comm.gather(my_by_alg, root=0)
+    if grid.comm.rank == 0:
+        merged: dict[str, dict[str, int]] = {}
+        for rank_dict in all_by_alg:
+            for key, d in rank_dict.items():
+                agg = merged.setdefault(
+                    key, {"calls": 0, "messages": 0, "words": 0, "steps": 0}
+                )
+                for field_name, v in d.items():
+                    agg[field_name] += v
+    else:
+        merged = None
+    stats.comm_by_alg = grid.comm.bcast(merged, root=0)
     return mate_r.to_global(), mate_c.to_global(), stats
 
 
@@ -578,6 +611,7 @@ def run_mcm_dist(
     timeout: "float | None" = None,
     verify: bool = False,
     faults=None,
+    comm_config=None,
 ) -> tuple[np.ndarray, np.ndarray, DistStats]:
     """Launch MCM-DIST on a simulated pr × pc process grid.
 
@@ -591,7 +625,10 @@ def run_mcm_dist(
     a seeded :class:`~repro.runtime.faults.FaultPlan`/``FaultInjector`` —
     this entry point has no recovery, use
     :func:`~repro.runtime.executor.run_mcm_dist_resilient` to survive the
-    injected crashes.
+    injected crashes.  ``comm_config`` optionally pins the collective
+    algorithms and payload packing
+    (:class:`~repro.runtime.comm.CollectiveConfig`); deterministic semirings
+    yield bit-identical mate vectors under every choice.
     """
     from ..runtime.executor import resolve_timeout
 
@@ -606,7 +643,7 @@ def run_mcm_dist(
     result = spmd(
         pr * pc, main,
         timeout=resolve_timeout(timeout, default=120.0),
-        verify=verify, faults=faults,
+        verify=verify, faults=faults, comm_config=comm_config,
     )
     mate_r, mate_c, stats = result[0]
     stats.verify_summary = result.verify_summary

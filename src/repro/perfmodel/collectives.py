@@ -58,9 +58,46 @@ def reduce_binomial(p: int, alpha: float, beta: float, words: float) -> float:
     return _log2ceil(p) * (alpha + beta * words)
 
 
-def allreduce(p: int, alpha: float, beta: float, words: float) -> float:
-    """Reduce + broadcast."""
+def bcast_linear(p: int, alpha: float, beta: float, words: float) -> float:
+    """Naive root-sends-to-all broadcast: p-1 sequential sends at the root."""
+    if p <= 1:
+        return 0.0
+    return (p - 1) * (alpha + beta * words)
+
+
+def reduce_linear(p: int, alpha: float, beta: float, words: float) -> float:
+    """Naive everyone-sends-to-root reduction: p-1 receives at the root."""
+    if p <= 1:
+        return 0.0
+    return (p - 1) * (alpha + beta * words)
+
+
+def allreduce_recursive_doubling(p: int, alpha: float, beta: float, words: float) -> float:
+    """Recursive-doubling allreduce: log₂⌊p⌋ exchange rounds, plus one
+    fold-in/fold-out round pair when p is not a power of two."""
+    if p <= 1:
+        return 0.0
+    pof2 = 1 << (p.bit_length() - 1)
+    rounds = pof2.bit_length() - 1
+    if p != pof2:
+        rounds += 2
+    return rounds * (alpha + beta * words)
+
+
+def allreduce_reduce_bcast(p: int, alpha: float, beta: float, words: float) -> float:
+    """Reduce + broadcast (binomial trees back to back)."""
     return reduce_binomial(p, alpha, beta, words) + bcast_binomial(p, alpha, beta, words)
+
+
+def allreduce(p: int, alpha: float, beta: float, words: float, algorithm: str = "reduce_bcast") -> float:
+    """Dispatch on the modeled allreduce implementation."""
+    if algorithm == "doubling":
+        return allreduce_recursive_doubling(p, alpha, beta, words)
+    if algorithm == "reduce_bcast":
+        return allreduce_reduce_bcast(p, alpha, beta, words)
+    if algorithm == "linear":
+        return reduce_linear(p, alpha, beta, words) + bcast_linear(p, alpha, beta, words)
+    raise ValueError(f"unknown allreduce algorithm {algorithm!r}")
 
 
 def gather_direct(p: int, alpha: float, beta: float, total_words: float) -> float:

@@ -37,7 +37,23 @@ from .errors import (
     WindowError,
 )
 from .fabric import CollectiveTrace, Fabric, ANY_SOURCE, ANY_TAG
-from .comm import Communicator, CommStats, ReduceOp, MIN, MAX, SUM, PROD, LAND, LOR, BAND, BOR
+from .comm import (
+    BAND,
+    BOR,
+    DEFAULT_CONFIG,
+    LAND,
+    LOR,
+    MAX,
+    MIN,
+    NAIVE_CONFIG,
+    PROD,
+    SUM,
+    CollectiveConfig,
+    Communicator,
+    CommStats,
+    ReduceOp,
+)
+from .pack import pack_arrays, pack_indices, unpack_arrays, unpack_indices
 from .rma import RmaAccessLog, Window
 from .faults import CrashSpec, FaultInjector, FaultPlan, RetryPolicy
 from .checkpoint import Checkpoint, CheckpointStore, FileCheckpointStore
@@ -56,6 +72,7 @@ __all__ = [
     "BOR",
     "Checkpoint",
     "CheckpointStore",
+    "CollectiveConfig",
     "CollectiveMismatchError",
     "CollectiveTrace",
     "CommAbort",
@@ -63,6 +80,7 @@ __all__ = [
     "CommStats",
     "Communicator",
     "CrashSpec",
+    "DEFAULT_CONFIG",
     "DeadlockError",
     "Fabric",
     "FaultInjector",
@@ -72,6 +90,7 @@ __all__ = [
     "LOR",
     "MAX",
     "MIN",
+    "NAIVE_CONFIG",
     "PROD",
     "RECOVERABLE_ERRORS",
     "RankKilledError",
@@ -84,7 +103,11 @@ __all__ = [
     "TransientCommError",
     "Window",
     "WindowError",
+    "pack_arrays",
+    "pack_indices",
     "resolve_timeout",
     "run_mcm_dist_resilient",
     "spmd",
+    "unpack_arrays",
+    "unpack_indices",
 ]

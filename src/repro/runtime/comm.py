@@ -1,26 +1,35 @@
 """MPI-like communicators over the simulated fabric.
 
 Every collective below is implemented on top of the two-sided ``send`` /
-``recv`` primitives with the classical algorithms whose costs the paper's
-analysis assumes:
+``recv`` primitives.  Following the collective-selection playbook of
+production MPIs (Thakur et al.'s MPICH optimization work, which the paper
+credits — via CombBLAS — for the 2D SpMV's scalability), each collective
+has a latency-aware algorithm and a naive textbook baseline, selected per
+communicator by a :class:`CollectiveConfig`:
 
-============  ==============================  =============================
-collective    algorithm                        α-β cost (length-W payload)
-============  ==============================  =============================
-barrier       dissemination                    α·⌈log₂p⌉
-bcast         binomial tree                    (α + βW)·⌈log₂p⌉
-reduce        binomial tree                    (α + βW)·⌈log₂p⌉
-allreduce     reduce + bcast                   2(α + βW)·⌈log₂p⌉
-gather(v)     direct to root                   α(p-1) + βW at root
-scatter(v)    direct from root                 α(p-1) + βW at root
-allgather(v)  ring                             α(p-1) + βW·(p-1)/p
-alltoall(v)   pairwise exchange                α(p-1) + βW
-exscan/scan   linear chain                     α(p-1)
-============  ==============================  =============================
+============  =======================  ==================  ==================
+collective    engine algorithm         α-β cost            naive baseline
+============  =======================  ==================  ==================
+barrier       dissemination            α·⌈log₂p⌉           (same)
+bcast         binomial tree            (α + βW)·⌈log₂p⌉    linear: (α+βW)(p-1)
+reduce        binomial tree            (α + βW)·⌈log₂p⌉    linear: (α+βW)(p-1)
+allreduce     recursive doubling       (α + βW)·~⌈log₂p⌉   reduce+bcast, linear
+allgather(v)  dissemination (Bruck)    α⌈log₂p⌉ + βW(p-1)/p   ring: α(p-1)+βW(p-1)/p
+alltoall(v)   Bruck (small payloads)   α⌈log₂p⌉ + βW⌈log₂p⌉/2   pairwise: α(p-1)+βW
+gather(v)     direct to root           α(p-1) + βW at root  (same)
+scatter(v)    direct from root         α(p-1) + βW at root  (same)
+exscan/scan   linear chain             α(p-1)              (same)
+============  =======================  ==================  ==================
 
-The matching cost *formulas* live in :mod:`repro.perfmodel.collectives`; this
-module moves real data with the same communication pattern, so integration
-tests can check that measured message counts equal the model's predictions.
+``alltoall``'s "auto" mode picks Bruck vs pairwise per call with an α-β
+heuristic on the *global* maximum send volume (a ⌈log₂p⌉-step one-word
+dissemination max makes the decision rank-uniform); every other "auto"
+resolves by ``p`` alone, so all selections are deadlock-free by
+construction.  The matching cost *formulas* live in
+:mod:`repro.perfmodel.collectives`; this module moves real data with the
+same communication patterns, so integration tests can check that measured
+message counts equal the model's predictions.  :attr:`CommStats.by_alg`
+counts calls/messages/words/steps per (collective, algorithm) pair.
 """
 
 from __future__ import annotations
@@ -65,17 +74,91 @@ BAND = ReduceOp("band", lambda a, b: a & b)
 BOR = ReduceOp("bor", lambda a, b: a | b)
 
 
+_CONFIG_CHOICES = {
+    "bcast": ("auto", "binomial", "linear"),
+    "reduce": ("auto", "binomial", "linear"),
+    "allreduce": ("auto", "doubling", "reduce_bcast", "linear"),
+    "allgather": ("auto", "dissemination", "ring"),
+    "alltoall": ("auto", "bruck", "pairwise"),
+}
+
+
+@dataclass(frozen=True)
+class CollectiveConfig:
+    """Per-communicator collective-algorithm selection.
+
+    Every field's ``"auto"`` resolves to the latency-aware engine algorithm
+    (``alltoall`` additionally weighs payload size against ``alpha_words``
+    per call); pinning a specific name forces it, which is how tests
+    cross-check the engine against the naive baselines and how benchmarks
+    measure both.  The selection must be identical on every rank of a
+    communicator — configs are plumbed through ``spmd(comm_config=...)``
+    and inherited by :meth:`Communicator.split`, so this holds by
+    construction.
+
+    ``alpha_words`` is the modeled α/β ratio expressed in 8-byte words: the
+    payload size below which one extra message costs more than the extra
+    volume.  ``pack``/``bitmap_frontiers`` gate the zero-copy payload
+    packing and bitmap frontier encodings in :mod:`repro.distmat.ops`.
+    """
+
+    bcast: str = "auto"
+    reduce: str = "auto"
+    allreduce: str = "auto"
+    allgather: str = "auto"
+    alltoall: str = "auto"
+    alpha_words: float = 48.0
+    pack: bool = True
+    bitmap_frontiers: bool = True
+
+    def __post_init__(self) -> None:
+        for op, choices in _CONFIG_CHOICES.items():
+            val = getattr(self, op)
+            if val not in choices:
+                raise ValueError(
+                    f"unknown {op} algorithm {val!r}; choose from {choices}"
+                )
+        if self.alpha_words < 0:
+            raise ValueError(f"alpha_words must be >= 0, got {self.alpha_words}")
+
+
+#: The latency-aware engine defaults.
+DEFAULT_CONFIG = CollectiveConfig()
+
+#: The naive textbook baselines (and no payload packing) — what the runtime
+#: shipped before the collective engine; benchmarks measure against this.
+NAIVE_CONFIG = CollectiveConfig(
+    bcast="linear",
+    reduce="linear",
+    allreduce="linear",
+    allgather="ring",
+    alltoall="pairwise",
+    pack=False,
+    bitmap_frontiers=False,
+)
+
+
+def _log2ceil(p: int) -> int:
+    """⌈log₂p⌉ rounds of a doubling schedule (0 for a singleton)."""
+    return (p - 1).bit_length() if p > 1 else 0
+
+
 @dataclass
 class CommStats:
     """Per-rank communication counters (messages and payload words).
 
     ``words`` counts 8-byte words for NumPy payloads (the unit the paper's β
     is expressed in); non-array payloads count as one word per Python object.
+    ``by_alg`` breaks the engine collectives down per chosen algorithm:
+    ``{"op:alg": {"calls", "messages", "words", "steps"}}`` where ``steps``
+    is the algorithm's sequential round count (the latency term the α-β
+    model charges), identical on every rank.
     """
 
     messages_sent: int = 0
     words_sent: int = 0
     by_op: dict[str, int] = field(default_factory=dict)
+    by_alg: dict[str, dict[str, int]] = field(default_factory=dict)
     #: total transient-failure retries and their per-op breakdown (only
     #: nonzero under fault injection; logical message counts above are
     #: unaffected by retries — a retried send still counts once)
@@ -86,6 +169,15 @@ class CommStats:
         self.messages_sent += 1
         self.words_sent += _payload_words(payload)
         self.by_op[op] = self.by_op.get(op, 0) + 1
+
+    def record_alg(self, op: str, alg: str, messages: int, words: int, steps: int) -> None:
+        d = self.by_alg.setdefault(
+            f"{op}:{alg}", {"calls": 0, "messages": 0, "words": 0, "steps": 0}
+        )
+        d["calls"] += 1
+        d["messages"] += messages
+        d["words"] += words
+        d["steps"] += steps
 
     def record_retry(self, op: str) -> None:
         self.retries += 1
@@ -147,15 +239,24 @@ class Communicator:
     ordered by communicator rank; ``self.rank`` is this rank's position in
     that list.  The base communicator created by the executor covers all
     fabric ranks; sub-communicators (e.g. the process-grid row and column
-    communicators used by the 2D SpMV) are created with :meth:`split`.
+    communicators used by the 2D SpMV) are created with :meth:`split` and
+    inherit ``config``.
     """
 
-    def __init__(self, fabric: Fabric, comm_id: int, group: Sequence[int], rank: int) -> None:
+    def __init__(
+        self,
+        fabric: Fabric,
+        comm_id: int,
+        group: Sequence[int],
+        rank: int,
+        config: "CollectiveConfig | None" = None,
+    ) -> None:
         self.fabric = fabric
         self.comm_id = comm_id
         self.group = list(group)
         self.rank = rank
         self.size = len(self.group)
+        self.config = DEFAULT_CONFIG if config is None else config
         self.stats = CommStats()
         self._coll_seq = 0
         if self.group[rank] < 0 or self.group[rank] >= fabric.nranks:
@@ -301,6 +402,19 @@ class Communicator:
         if trace is not None:
             trace.record(self.comm_id, seq, self.rank, self.size, (op, root, extra))
 
+    def _begin_alg(self) -> tuple[int, int]:
+        """Snapshot (messages, words) so the per-algorithm delta can be
+        attributed after the collective's traffic completes."""
+        return self.stats.messages_sent, self.stats.words_sent
+
+    def _end_alg(self, op: str, alg: str, before: tuple[int, int], steps: int) -> None:
+        self.stats.record_alg(
+            op, alg,
+            self.stats.messages_sent - before[0],
+            self.stats.words_sent - before[1],
+            steps,
+        )
+
     # -- collectives ----------------------------------------------------------
 
     def barrier(self) -> None:
@@ -314,11 +428,27 @@ class Communicator:
             self._coll_recv((r - k) % p, "barrier", seq)
             k *= 2
 
+    # -- bcast ---------------------------------------------------------------
+
     def bcast(self, payload: Any, root: int = 0) -> Any:
-        """Binomial-tree broadcast from ``root``; returns the payload on all
-        ranks (a private copy on each non-root rank)."""
+        """Broadcast from ``root``; returns the payload on all ranks (a
+        private copy on each non-root rank).  Binomial tree by default;
+        ``config.bcast = "linear"`` pins the naive root-sends-to-all
+        baseline."""
         seq = self._next_seq()
         self._verify("bcast", seq, root=root)
+        alg = "binomial" if self.config.bcast == "auto" else self.config.bcast
+        before = self._begin_alg()
+        if alg == "linear":
+            out = self._bcast_linear(payload, root, seq)
+            steps = max(0, self.size - 1)
+        else:
+            out = self._bcast_binomial(payload, root, seq)
+            steps = _log2ceil(self.size)
+        self._end_alg("bcast", alg, before, steps)
+        return out
+
+    def _bcast_binomial(self, payload: Any, root: int, seq: int) -> Any:
         p = self.size
         # Rotate so the root is virtual rank 0 (MPICH binomial algorithm).
         vr = (self.rank - root) % p
@@ -340,6 +470,17 @@ class Communicator:
                 self._coll_send(dst, payload, "bcast", seq)
             mask >>= 1
         return payload
+
+    def _bcast_linear(self, payload: Any, root: int, seq: int) -> Any:
+        if self.rank == root:
+            payload = _freeze(payload)
+            for dst in range(self.size):
+                if dst != root:
+                    self._coll_send(dst, payload, "bcast", seq)
+            return payload
+        return self._coll_recv(root, "bcast", seq)
+
+    # -- gather / scatter ------------------------------------------------------
 
     def gather(self, payload: Any, root: int = 0) -> list[Any] | None:
         """Direct gather: every rank sends its payload to ``root``; root
@@ -379,11 +520,28 @@ class Communicator:
             return _freeze(payloads[root])
         return self._coll_recv(root, "scatter", seq)
 
+    # -- allgather -------------------------------------------------------------
+
     def allgather(self, payload: Any) -> list[Any]:
-        """Ring allgather: p-1 steps, each forwarding the block received in
-        the previous step.  Returns the list of payloads ordered by rank."""
+        """Allgather; returns the list of payloads ordered by rank.
+
+        Dissemination (Bruck) by default — ⌈log₂p⌉ rounds moving the same
+        p-1 blocks per rank the ring moves in p-1 rounds;
+        ``config.allgather = "ring"`` pins the naive ring baseline."""
         seq = self._next_seq()
         self._verify("allgather", seq)
+        alg = "dissemination" if self.config.allgather == "auto" else self.config.allgather
+        before = self._begin_alg()
+        if alg == "ring":
+            out = self._allgather_ring(payload, seq)
+            steps = max(0, self.size - 1)
+        else:
+            out = self._allgather_dissemination(payload, seq)
+            steps = _log2ceil(self.size)
+        self._end_alg("allgather", alg, before, steps)
+        return out
+
+    def _allgather_ring(self, payload: Any, seq: int) -> list[Any]:
         p, r = self.size, self.rank
         out: list[Any] = [None] * p
         out[r] = _freeze(payload)
@@ -399,15 +557,43 @@ class Communicator:
             out[src] = item
         return out
 
+    def _allgather_dissemination(self, payload: Any, seq: int) -> list[Any]:
+        # Bruck/dissemination allgather: after the round with distance k,
+        # rank r holds blocks r .. r+2k-1 (mod p) in acquisition order, so
+        # the last round may forward only a partial batch (non-power-of-two
+        # p); total traffic is the ring's p-1 blocks in ⌈log₂p⌉ rounds.
+        p, r = self.size, self.rank
+        out: list[Any] = [None] * p
+        out[r] = _freeze(payload)
+        if p == 1:
+            return out
+        held: list[tuple[int, Any]] = [(r, out[r])]
+        k = 1
+        while k < p:
+            nsend = min(k, p - k)
+            self._coll_send((r - k) % p, held[:nsend], "allgather", seq)
+            held.extend(self._coll_recv((r + k) % p, "allgather", seq))
+            k *= 2
+        for src, item in held:
+            out[src] = item
+        return out
+
     def allgatherv(self, payload: Any) -> list[Any]:
         """Alias of :meth:`allgather` (payloads may differ in size)."""
         return self.allgather(payload)
 
-    def alltoall(self, payloads: Sequence[Any]) -> list[Any]:
-        """Personalized all-to-all by pairwise exchange: p-1 sendrecv steps.
+    # -- alltoall ---------------------------------------------------------------
 
-        ``payloads[i]`` is destined for rank ``i``; returns the list of
-        payloads received, indexed by source rank.
+    def alltoall(self, payloads: Sequence[Any]) -> list[Any]:
+        """Personalized all-to-all: ``payloads[i]`` is destined for rank
+        ``i``; returns the list of payloads received, indexed by source rank.
+
+        ``config.alltoall`` picks the schedule: "pairwise" (p-1 sendrecv
+        steps, minimum volume), "bruck" (⌈log₂p⌉ store-and-forward rounds,
+        each block travelling once per set bit of its rank distance), or
+        "auto" — an α-β comparison on the global maximum send volume, made
+        rank-uniform by a ⌈log₂p⌉-step one-word dissemination max so every
+        rank runs the same schedule.
         """
         if len(payloads) != self.size:
             raise ValueError(
@@ -415,6 +601,55 @@ class Communicator:
             )
         seq = self._next_seq()
         self._verify("alltoall", seq)
+        p, r = self.size, self.rank
+        rounds = _log2ceil(p)
+        extra_steps = 0
+        # snapshot before the auto sizing exchange so its messages/words are
+        # attributed to the chosen algorithm (as its steps already are)
+        before = self._begin_alg()
+        alg = self.config.alltoall
+        if alg == "auto":
+            if p <= 3:
+                # Bruck's ⌈log₂p⌉ rounds equal p-1 here: no latency win, and
+                # forwarding would only add volume — pairwise outright.
+                alg = "pairwise"
+            else:
+                my_words = sum(
+                    _payload_words(payloads[d]) for d in range(p) if d != r
+                )
+                W = self._dissemination_max(my_words, seq)
+                extra_steps = rounds
+                aw = self.config.alpha_words
+                bruck_cost = aw * rounds + W * rounds / 2.0
+                pairwise_cost = aw * (p - 1) + W
+                alg = "bruck" if bruck_cost < pairwise_cost else "pairwise"
+        if alg == "bruck":
+            out = self._alltoall_bruck(payloads, seq)
+            steps = extra_steps + rounds
+        else:
+            out = self._alltoall_pairwise(payloads, seq)
+            steps = extra_steps + max(0, p - 1)
+        self._end_alg("alltoall", alg, before, steps)
+        return out
+
+    def _dissemination_max(self, value: int, seq: int) -> int:
+        """Global max of a per-rank scalar in ⌈log₂p⌉ one-word rounds.
+
+        Plain dissemination is only a correct allreduce for *idempotent*
+        operators (a contribution may be folded in twice past the wrap-
+        around) — max is.  Shares the collective's (tag, seq) stream: every
+        rank finishes these rounds before its first data round, so per-
+        stream FIFO keeps the one-word counts ahead of the data blocks.
+        """
+        p, r = self.size, self.rank
+        k = 1
+        while k < p:
+            self._coll_send((r + k) % p, value, "alltoall", seq)
+            value = max(value, self._coll_recv((r - k) % p, "alltoall", seq))
+            k *= 2
+        return value
+
+    def _alltoall_pairwise(self, payloads: Sequence[Any], seq: int) -> list[Any]:
         p, r = self.size, self.rank
         out: list[Any] = [None] * p
         out[r] = _freeze(payloads[r])
@@ -425,15 +660,51 @@ class Communicator:
             out[src] = self._coll_recv(src, "alltoall", seq)
         return out
 
+    def _alltoall_bruck(self, payloads: Sequence[Any], seq: int) -> list[Any]:
+        # Store-and-forward alltoall: label each block by its rank distance
+        # i = (dest - source) mod p.  In the round with distance 2^k, every
+        # rank forwards its blocks whose label has bit k set to rank r+2^k
+        # and receives the same labels from r-2^k; a block's total travel is
+        # the sum of its label's bits = its distance, so it lands exactly at
+        # its destination.  Same-labeled blocks move in lockstep, so one
+        # slot per label suffices.
+        p, r = self.size, self.rank
+        buf: list[Any] = [payloads[(r + i) % p] for i in range(p)]
+        buf[0] = _freeze(buf[0])  # own block never travels
+        step = 1
+        while step < p:
+            moving = [(i, buf[i]) for i in range(1, p) if i & step]
+            self._coll_send((r + step) % p, moving, "alltoall", seq)
+            for i, item in self._coll_recv((r - step) % p, "alltoall", seq):
+                buf[i] = item
+            step <<= 1
+        # block with label i now held here came from source (r - i) mod p
+        return [buf[(r - s) % p] for s in range(p)]
+
     def alltoallv(self, payloads: Sequence[Any]) -> list[Any]:
         """Alias of :meth:`alltoall` (variable-size payloads)."""
         return self.alltoall(payloads)
 
+    # -- reductions ---------------------------------------------------------------
+
     def reduce(self, payload: Any, op: ReduceOp = SUM, root: int = 0) -> Any:
-        """Binomial-tree reduction to ``root``; returns the reduced value at
-        root and ``None`` elsewhere."""
+        """Reduction to ``root``; returns the reduced value at root and
+        ``None`` elsewhere.  Binomial tree by default; ``config.reduce =
+        "linear"`` pins the naive everyone-sends-to-root baseline."""
         seq = self._next_seq()
         self._verify("reduce", seq, root=root, extra=(op.name,) + _payload_sig(payload))
+        alg = "binomial" if self.config.reduce == "auto" else self.config.reduce
+        before = self._begin_alg()
+        if alg == "linear":
+            out = self._reduce_linear(payload, op, root, seq)
+            steps = max(0, self.size - 1)
+        else:
+            out = self._reduce_binomial(payload, op, root, seq)
+            steps = _log2ceil(self.size)
+        self._end_alg("reduce", alg, before, steps)
+        return out
+
+    def _reduce_binomial(self, payload: Any, op: ReduceOp, root: int, seq: int) -> Any:
         p = self.size
         vr = (self.rank - root) % p
         acc = _freeze(payload)
@@ -449,10 +720,95 @@ class Communicator:
             mask <<= 1
         return acc if self.rank == root else None
 
+    def _reduce_linear(self, payload: Any, op: ReduceOp, root: int, seq: int) -> Any:
+        if self.rank != root:
+            self._coll_send(root, payload, "reduce", seq)
+            return None
+        acc = _freeze(payload)
+        for src in range(self.size):
+            if src != root:
+                acc = op(acc, self._coll_recv(src, "reduce", seq))
+        return acc
+
     def allreduce(self, payload: Any, op: ReduceOp = SUM) -> Any:
-        """Reduce to rank 0 followed by broadcast."""
-        acc = self.reduce(payload, op, root=0)
-        return self.bcast(acc, root=0)
+        """Reduction returning the result on every rank.
+
+        Recursive doubling by default (MPICH's algorithm, with the
+        fold-in/fold-out rounds for non-power-of-two p); ``config.allreduce``
+        pins "reduce_bcast" (binomial reduce to 0 + binomial bcast — the
+        runtime's previous composition, traced as those two collectives) or
+        "linear" (naive linear reduce + linear bcast).
+        """
+        alg = "doubling" if self.config.allreduce == "auto" else self.config.allreduce
+        before = self._begin_alg()
+        if alg == "doubling":
+            seq = self._next_seq()
+            self._verify(
+                "allreduce", seq, extra=(op.name,) + _payload_sig(payload)
+            )
+            out, steps = self._allreduce_doubling(payload, op, seq)
+        else:
+            # composed variants: traced exactly like the explicit
+            # reduce-then-bcast call sequence they are
+            seq = self._next_seq()
+            self._verify("reduce", seq, root=0, extra=(op.name,) + _payload_sig(payload))
+            if alg == "linear":
+                acc = self._reduce_linear(payload, op, 0, seq)
+            else:
+                acc = self._reduce_binomial(payload, op, 0, seq)
+            seq2 = self._next_seq()
+            self._verify("bcast", seq2, root=0)
+            if alg == "linear":
+                out = self._bcast_linear(acc, 0, seq2)
+                steps = 2 * max(0, self.size - 1)
+            else:
+                out = self._bcast_binomial(acc, 0, seq2)
+                steps = 2 * _log2ceil(self.size)
+        self._end_alg("allreduce", alg, before, steps)
+        return out
+
+    def _allreduce_doubling(self, payload: Any, op: ReduceOp, seq: int) -> tuple[Any, int]:
+        # MPICH recursive doubling: fold the rem = p - 2^⌊log₂p⌋ surplus
+        # ranks into their neighbours, run log₂ rounds of pairwise exchange
+        # on the power-of-two core, then fold the result back out.
+        p, r = self.size, self.rank
+        acc = _freeze(payload)
+        if p == 1:
+            return acc, 0
+        pof2 = 1 << (p.bit_length() - 1)
+        if pof2 > p:  # pragma: no cover - bit_length guarantees pof2 <= p
+            pof2 >>= 1
+        rem = p - pof2
+        if r < 2 * rem:
+            if r % 2 == 0:
+                self._coll_send(r + 1, acc, "allreduce", seq)
+                newr = -1  # folded in; waits for fold-out
+            else:
+                acc = op(self._coll_recv(r - 1, "allreduce", seq), acc)
+                newr = r // 2
+        else:
+            newr = r - rem
+        if newr >= 0:
+            mask = 1
+            while mask < pof2:
+                partner_new = newr ^ mask
+                partner = (
+                    partner_new * 2 + 1 if partner_new < rem else partner_new + rem
+                )
+                self._coll_send(partner, acc, "allreduce", seq)
+                other = self._coll_recv(partner, "allreduce", seq)
+                # combine lower-rank contribution on the left: every rank
+                # evaluates the same reduction tree, so even order-sensitive
+                # operators stay rank-consistent
+                acc = op(other, acc) if partner < r else op(acc, other)
+                mask <<= 1
+        if r < 2 * rem:
+            if r % 2 == 1:
+                self._coll_send(r - 1, acc, "allreduce", seq)
+            else:
+                acc = self._coll_recv(r + 1, "allreduce", seq)
+        steps = (pof2.bit_length() - 1) + (2 if rem else 0)
+        return acc, steps
 
     def exscan(self, payload: Any, op: ReduceOp = SUM) -> Any:
         """Exclusive prefix reduction along the rank chain.
@@ -485,7 +841,8 @@ class Communicator:
         collective over the parent communicator, so it consumes a slot of
         the same per-rank collective sequence the tagged collectives use —
         which is what lets the divergence checker catch a rank calling
-        ``split`` while its peers are in ``bcast``.
+        ``split`` while its peers are in ``bcast``.  The child inherits
+        ``config``.
         """
         seq = self._next_seq()
         self._verify("split", seq)
@@ -496,7 +853,7 @@ class Communicator:
         )
         group = [self.group[r] for r in members_parent_ranks]
         my_pos = members_parent_ranks.index(self.rank)
-        return Communicator(self.fabric, new_id, group, my_pos)
+        return Communicator(self.fabric, new_id, group, my_pos, config=self.config)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Communicator(id={self.comm_id}, rank={self.rank}/{self.size})"

@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from .checkpoint import Checkpoint, CheckpointStore
-from .comm import Communicator, CommStats
+from .comm import CollectiveConfig, Communicator, CommStats
 from .errors import (
     CollectiveMismatchError,
     CommAbort,
@@ -98,6 +98,7 @@ def spmd(
     verify: bool = False,
     faults: "FaultInjector | FaultPlan | None" = None,
     join_grace: float = 5.0,
+    comm_config: "CollectiveConfig | None" = None,
     **kwargs: Any,
 ) -> SpmdResult:
     """Run ``fn(comm, *args, **kwargs)`` on ``nranks`` simulated ranks.
@@ -119,6 +120,11 @@ def spmd(
         injecting seeded rank crashes, transient send/RMA failures and
         legal message reorderings.  ``None`` keeps every hook a single
         attribute check.
+    comm_config:
+        Optional :class:`~repro.runtime.comm.CollectiveConfig` pinning the
+        collective algorithms (and payload packing) for the base
+        communicator and everything :meth:`Communicator.split` derives from
+        it.  ``None`` uses the latency-aware engine defaults.
     join_grace:
         Final join window (seconds) before a non-terminating rank is
         reported via :class:`TimeoutError`; tests shrink it.
@@ -148,7 +154,10 @@ def spmd(
     if isinstance(faults, FaultPlan):
         faults = FaultInjector(faults, nranks)
     fabric = Fabric(nranks, timeout=timeout, verify=verify, faults=faults)
-    comms = [Communicator(fabric, comm_id=0, group=range(nranks), rank=r) for r in range(nranks)]
+    comms = [
+        Communicator(fabric, comm_id=0, group=range(nranks), rank=r, config=comm_config)
+        for r in range(nranks)
+    ]
     outcomes = [_RankOutcome() for _ in range(nranks)]
 
     def runner(rank: int) -> None:
@@ -262,6 +271,7 @@ def run_mcm_dist_resilient(
     max_restarts: int = 3,
     timeout: "float | None" = None,
     verify: bool = False,
+    comm_config: "CollectiveConfig | None" = None,
     restart_on: tuple = RECOVERABLE_ERRORS,
     **mcm_kwargs: Any,
 ):
@@ -310,7 +320,10 @@ def run_mcm_dist_resilient(
             )
 
         try:
-            result = spmd(pr * pc, main, timeout=timeout, verify=verify, faults=injector)
+            result = spmd(
+                pr * pc, main, timeout=timeout, verify=verify, faults=injector,
+                comm_config=comm_config,
+            )
             break
         except restart_on as exc:
             if injector is not None:

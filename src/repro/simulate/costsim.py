@@ -229,12 +229,14 @@ class _Pricer:
         grid: GridShape,
         alltoall: str = "bruck",
         allgather: str = "doubling",
+        allreduce: str = "doubling",
     ) -> None:
         self.t = trace
         self.m = machine
         self.g = grid
         self.alg_a2a = alltoall
         self.alg_ag = allgather
+        self.alg_ar = allreduce
         self.clock = BspClock(machine, grid)
         pr, pc = grid.pr, grid.pc
         self.P = pr * pc
@@ -337,9 +339,13 @@ class _Pricer:
                 ops = self._busiest(self.col_vec_rank(ev["cols"]), self.P)
                 self.clock.step(Category.INVERT, ops, comm)
             elif kind == "iteration_end":
-                self.clock.charge_comm(Category.OTHER, C.allreduce(self.P, a_P, b_P, 1))
+                self.clock.charge_comm(
+                    Category.OTHER, C.allreduce(self.P, a_P, b_P, 1, self.alg_ar)
+                )
             elif kind == "phase_end":
-                self.clock.charge_comm(Category.OTHER, C.allreduce(self.P, a_P, b_P, 1))
+                self.clock.charge_comm(
+                    Category.OTHER, C.allreduce(self.P, a_P, b_P, 1, self.alg_ar)
+                )
             elif kind == "init_explore":
                 cols = ev["cand_cols"]
                 u_cols = np.unique(cols) if cols.size else cols
@@ -357,7 +363,8 @@ class _Pricer:
             elif kind == "init_round_end":
                 factor = 2 if ev.get("algo") == "mindegree" else 1
                 self.clock.charge_comm(
-                    Category.INIT, factor * C.allreduce(self.P, a_P, b_P, 1)
+                    Category.INIT,
+                    factor * C.allreduce(self.P, a_P, b_P, 1, self.alg_ar),
                 )
             else:  # pragma: no cover - trace corruption guard
                 raise ValueError(f"unknown trace event {kind!r}")
@@ -418,16 +425,18 @@ def price(
     *,
     alltoall: str = "bruck",
     allgather: str = "doubling",
+    allreduce: str = "doubling",
 ) -> SimResult:
     """Price a recorded trace at one (cores, threads) configuration.
 
-    ``alltoall``/``allgather`` select the modeled collective algorithms:
-    the defaults ("bruck"/"doubling") model production MPI's small-message
-    implementations; "pairwise"/"ring" reproduce the paper's worst-case
+    ``alltoall``/``allgather``/``allreduce`` select the modeled collective
+    algorithms: the defaults ("bruck"/"doubling"/"doubling") model the
+    latency-aware engine of :mod:`repro.runtime.comm`;
+    "pairwise"/"ring"/"reduce_bcast" reproduce the paper's worst-case
     Section IV-B bounds.
     """
     grid = machine.square_grid(cores, threads)
-    clock = _Pricer(trace, machine, grid, alltoall, allgather).price()
+    clock = _Pricer(trace, machine, grid, alltoall, allgather, allreduce).price()
     return SimResult(
         cores=cores,
         threads=threads,

@@ -6,13 +6,21 @@ run, produce a valid maximum matching, and (for crash plans) record at
 least one restart.
 """
 
+import time
+
 import numpy as np
 import pytest
 
 from repro.graphs.rmat import er
 from repro.matching.mcm_dist import run_mcm_dist
 from repro.matching.validate import cardinality, is_valid_matching, verify_maximum
-from repro.runtime import FaultPlan, run_mcm_dist_resilient
+from repro.runtime import (
+    CollectiveConfig,
+    FaultPlan,
+    RankKilledError,
+    run_mcm_dist_resilient,
+    spmd,
+)
 from repro.sparse import CSC
 
 GRIDS = [(1, 1), (2, 2), (3, 3)]
@@ -104,3 +112,46 @@ def test_same_seed_and_plan_reproduce_the_same_restart_trajectory(graph):
     assert np.array_equal(mates_a, mates_b)
     assert (restarts_a, replayed_a) == (restarts_b, replayed_b)
     assert restarts_a >= 1
+
+
+# -- mid-collective crashes: the engine's multi-round schedules must not
+# strand peers when a rank dies between rounds -------------------------------
+
+
+def test_crash_mid_bruck_alltoallv_aborts_all_ranks_promptly():
+    """Rank 2's 2nd send is its 2nd Bruck round (p=4: rounds at distance 1,
+    then 2) — it dies holding other ranks' forwarded blocks.  Peers blocked
+    in the remaining rounds must unwind via abort propagation, well inside
+    the deadlock window, and the victim's error must surface."""
+
+    def main(comm):
+        payloads = [np.arange(3, dtype=np.int64) + comm.rank for _ in range(comm.size)]
+        comm.alltoallv(payloads)
+        comm.barrier()
+        return comm.rank
+
+    plan = FaultPlan.parse("crash:rank=2,at=send:2", seed=0)
+    t0 = time.monotonic()
+    with pytest.raises(RankKilledError, match=r"\[spmd rank 2\]"):
+        spmd(4, main, faults=plan, timeout=20,
+             comm_config=CollectiveConfig(alltoall="bruck"))
+    assert time.monotonic() - t0 < 10  # abort propagation, not a timeout
+
+
+def test_crash_mid_tree_reduce_aborts_all_ranks_promptly():
+    """In the p=8 binomial reduce, rank 6 first combines rank 7's
+    contribution, then forwards to rank 4; crashing that forward (its 1st
+    send) kills an interior tree node mid-reduction.  The subtree it
+    absorbed must not deadlock the root — abort propagates instead."""
+
+    def main(comm):
+        comm.reduce(np.arange(4, dtype=np.int64) * comm.rank, root=0)
+        comm.barrier()
+        return comm.rank
+
+    plan = FaultPlan.parse("crash:rank=6,at=send:1", seed=0)
+    t0 = time.monotonic()
+    with pytest.raises(RankKilledError, match=r"\[spmd rank 6\]"):
+        spmd(8, main, faults=plan, timeout=20,
+             comm_config=CollectiveConfig(reduce="binomial"))
+    assert time.monotonic() - t0 < 10

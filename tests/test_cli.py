@@ -78,6 +78,27 @@ def test_spmd_timeout_flag(capsys):
     assert "matched" in capsys.readouterr().out
 
 
+def test_spmd_stats_json_dump(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "stats.json"
+    assert main(["spmd", "--rmat", "er:6", "--pr", "2", "--pc", "2",
+                 "--direction", "auto", "--stats-json", str(path)]) == 0
+    assert f"stats written to {path}" in capsys.readouterr().out
+    stats = json.loads(path.read_text())
+    assert stats["grid"] == {"pr": 2, "pc": 2}
+    assert stats["cardinality"] == stats["final_cardinality"] > 0
+    assert stats["phases"] >= 1
+    assert stats["total_words"] >= stats["expand_words"] + stats["fold_words"] > 0
+    # the per-algorithm collective counters made it through serialization
+    by_alg = stats["comm_by_alg"]
+    assert any(key.startswith("allgather:") for key in by_alg)
+    assert any(key.startswith("alltoall:") for key in by_alg)
+    for counters in by_alg.values():
+        assert set(counters) == {"calls", "messages", "words", "steps"}
+        assert counters["calls"] >= 1
+
+
 def test_spmd_chaos_recovers_and_reports(capsys):
     assert main(["spmd", "--rmat", "er:6", "--pr", "2", "--pc", "2",
                  "--chaos", "1"]) == 0
