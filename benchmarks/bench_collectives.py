@@ -141,6 +141,34 @@ def run_spmd_case(scale: int, pr: int, pc: int) -> dict:
     return out
 
 
+def run_traced_check() -> None:
+    """Traced mode: re-run the er:7 case with span tracing on and prove the
+    tracer's accounting against the stats counters — every ``op:alg`` word
+    total summed from comm spans must equal ``CommStats.by_alg`` exactly,
+    and tracing must not perturb the computed matching."""
+    case = SPMD_CASES["er7"]
+    coo = er(scale=case["scale"], seed=1)
+    plain_r, plain_c, _ = run_mcm_dist(
+        coo, case["pr"], case["pc"], direction="auto"
+    )
+    mate_r, mate_c, stats = run_mcm_dist(
+        coo, case["pr"], case["pc"], direction="auto", trace="ticks"
+    )
+    assert np.array_equal(mate_r, plain_r), "tracing changed mate_r"
+    assert np.array_equal(mate_c, plain_c), "tracing changed mate_c"
+    traced = stats.trace.comm_words_by_key()
+    by_alg = stats.comm_by_alg
+    assert set(traced) == set(by_alg), \
+        f"op:alg key sets differ: {set(traced) ^ set(by_alg)}"
+    mismatches = [
+        (key, traced[key], d["words"])
+        for key, d in by_alg.items() if traced[key] != d["words"]
+    ]
+    assert not mismatches, f"span words != by_alg words: {mismatches}"
+    print(f"  traced er7: {stats.trace.nspans:,} spans; span word counts == "
+          f"CommStats.by_alg for all {len(by_alg)} op:alg keys")
+
+
 # ---------------------------------------------------------------------------
 # acceptance + regression checks
 # ---------------------------------------------------------------------------
@@ -204,6 +232,10 @@ def main(argv=None) -> int:
     ap.add_argument("--check", action="store_true",
                     help="compare counters against the committed JSONs "
                          "instead of overwriting them; exit 1 on regression")
+    ap.add_argument("--traced", action="store_true",
+                    help="also run the er:7 case with span tracing and "
+                         "cross-check traced word counts against "
+                         "CommStats.by_alg exactly")
     ap.add_argument("--out-dir", default=str(REPO_ROOT), metavar="DIR",
                     help="where to write/read the BENCH_*.json files")
     args = ap.parse_args(argv)
@@ -232,6 +264,10 @@ def main(argv=None) -> int:
 
     print("acceptance criteria:")
     assert_acceptance(micro, spmd_runs)
+
+    if args.traced:
+        print("traced cross-check (span word counts vs CommStats.by_alg)...")
+        run_traced_check()
 
     if args.check:
         problems = check_against_committed(COLLECTIVES_JSON, collectives, root)

@@ -7,19 +7,20 @@ all-to-alls, and — for path-parallel augmentation — one-sided RMA windows.
 This is the same code path a production mpi4py deployment would execute.
 
 The example launches the job on a 3x3 process grid, verifies the
-distributed result against the serial engine, and prints per-rank
-communication statistics.
+distributed result against the serial engine, compares the latency-aware
+collective engine against the naive baselines (``comm_config``), and
+records a per-rank span trace whose critical-path breakdown is printed at
+the end (``trace-report`` over the same data lives in the CLI).
 
 Run:  python examples/distributed_spmd.py
 """
 
-import numpy as np
-
 import repro
 from repro.graphs import rmat
 from repro.matching import ms_bfs_mcm
-from repro.matching.mcm_dist import mcm_dist_spmd
-from repro.runtime import spmd
+from repro.matching.mcm_dist import mcm_dist_spmd, merge_by_alg
+from repro.runtime import NAIVE_CONFIG, spmd
+from repro.simulate.critpath import report_trace
 
 
 def main() -> None:
@@ -32,7 +33,9 @@ def main() -> None:
         data = coo if comm.rank == 0 else None
         return mcm_dist_spmd(comm, data, pr, pc, init="greedy", augment="auto")
 
-    result = spmd(pr * pc, rank_main, timeout=300.0)
+    # traced run on the default (latency-aware) collective engine; the
+    # deterministic tick clock makes the trace byte-identical across runs
+    result = spmd(pr * pc, rank_main, timeout=300.0, trace="ticks")
     mate_r, mate_c, stats = result[0]
 
     print(f"grid                 : {pr} x {pc} simulated ranks")
@@ -48,6 +51,17 @@ def main() -> None:
         print(f"  rank {r} (grid {divmod(r, pc)}): {s.messages_sent:>6} msgs  "
               f"{s.words_sent:>10,} words")
     print(f"  total: {result.total_messages:,} messages, {result.total_words:,} words")
+
+    # -- collective engine vs naive baselines (comm_config) ------------------
+    naive = spmd(pr * pc, rank_main, timeout=300.0, comm_config=NAIVE_CONFIG)
+    eng_steps = sum(d["steps"] for d in merge_by_alg(result.values).values())
+    nai_steps = sum(d["steps"] for d in merge_by_alg(naive.values).values())
+    print(f"\ncollective engine    : {eng_steps:,} modeled latency steps "
+          f"vs {nai_steps:,} naive ({nai_steps / max(eng_steps, 1):.1f}x)")
+
+    # -- span trace: who bounded each phase? ---------------------------------
+    print("\ncritical-path breakdown of the traced run:")
+    print(report_trace(result.trace, top=3))
 
     # -- cross-check against the serial matrix-algebra engine ----------------
     a = repro.CSC.from_coo(coo)

@@ -19,6 +19,10 @@ Commands
     per-rank communication statistics.  ``--verify`` arms the dynamic
     correctness verifiers (collective-divergence and RMA-race detection).
 
+``trace-report``
+    Critical-path analysis of a trace recorded with ``spmd --trace``:
+    dominant span per phase, per-rank wait fractions, skew, restarts.
+
 ``lint``
     Statically analyze Python sources for SPMD correctness hazards:
     collectives under rank-divergent control flow, reserved user tags,
@@ -118,6 +122,7 @@ def cmd_spmd(args) -> int:
 
     coo = _load_input(args)
     init = args.init if args.init in ("greedy", "mindegree") else "none"
+    trace = args.trace_clock if args.trace else False
     if args.chaos is not None:
         from .runtime import FaultPlan, FileCheckpointStore, run_mcm_dist_resilient
 
@@ -132,6 +137,7 @@ def cmd_spmd(args) -> int:
             max_restarts=args.max_restarts,
             timeout=args.timeout,
             verify=args.verify,
+            trace=trace,
         )
         print(f"chaos seed {args.chaos}, plan [{plan.describe()}]: "
               f"{stats.restarts} restart(s), {stats.phases_replayed} phase(s) "
@@ -143,6 +149,7 @@ def cmd_spmd(args) -> int:
             direction=args.direction,
             timeout=args.timeout,
             verify=args.verify,
+            trace=trace,
         )
     card = int((mate_r != -1).sum())
     print(f"grid {args.pr}x{args.pc}: matched {card:,} "
@@ -160,6 +167,12 @@ def cmd_spmd(args) -> int:
               f"collective entries cross-checked, "
               f"{vs.get('rma_ops_checked', 0):,} one-sided accesses "
               f"race-checked, no divergence or races")
+    if args.trace:
+        stats.trace.dump(args.trace)
+        print(f"trace written to {args.trace} "
+              f"({stats.trace.nspans:,} spans, {stats.trace.nranks} rank(s); "
+              f"load it in Perfetto / chrome://tracing, or run "
+              f"'repro trace-report {args.trace}')")
     if args.stats_json:
         import dataclasses
         import json
@@ -180,6 +193,20 @@ def cmd_spmd(args) -> int:
             json.dump(payload, fh, indent=2, sort_keys=True, default=_jsonable)
             fh.write("\n")
         print(f"stats written to {args.stats_json}")
+    return 0
+
+
+def cmd_trace_report(args) -> int:
+    from .runtime.trace import DistTrace
+    from .simulate.critpath import analyze, format_report
+
+    rep = analyze(DistTrace.load(args.file), top=args.top)
+    if args.format == "json":
+        import json
+
+        print(json.dumps(rep, indent=2, sort_keys=True))
+    else:
+        print(format_report(rep))
     return 0
 
 
@@ -251,7 +278,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="dump the run's DistStats (phases, word counters, "
                         "per-algorithm collective counters, recovery counters) "
                         "as JSON")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="record per-rank spans and write a Chrome trace-event "
+                        "JSON (open in Perfetto, or feed to 'repro trace-report')")
+    p.add_argument("--trace-clock", default="wall", choices=["wall", "ticks"],
+                   help="trace timestamp source: wall time, or deterministic "
+                        "per-rank event ticks (byte-identical across runs)")
     p.set_defaults(fn=cmd_spmd)
+
+    p = sub.add_parser("trace-report",
+                       help="critical-path analysis of a recorded trace")
+    p.add_argument("file", help="Chrome trace-event JSON from 'spmd --trace'")
+    p.add_argument("--top", type=int, default=5,
+                   help="spans to list per ranking (default 5)")
+    p.add_argument("--format", default="text", choices=["text", "json"])
+    p.set_defaults(fn=cmd_trace_report)
 
     p = sub.add_parser("lint", help="static SPMD correctness analysis")
     p.add_argument("paths", nargs="+", help=".py files or directory trees")

@@ -32,6 +32,7 @@ import numpy as np
 
 from ..runtime.comm import SUM, Communicator
 from ..runtime.pack import pack_arrays, pack_indices, unpack_arrays, unpack_indices
+from ..runtime.trace import tspan
 from ..sparse.semiring import SR_MIN_PARENT, Semiring, reduce_candidates
 from ..sparse.spvec import NULL
 from .distvec import DistDenseVec, DistVertexFrontier
@@ -97,17 +98,18 @@ def _fold_and_reduce(
     destination reduction.  Both traversal directions funnel through here,
     which is what makes them bit-identical under deterministic semirings."""
     grid = A.grid
-    # local pre-reduction shrinks the fold volume (CombBLAS does the same)
-    grows, parents, roots = reduce_candidates(grows, parents, roots, semiring, rng)
+    with tspan(grid.comm, "fold"):
+        # local pre-reduction shrinks the fold volume (CombBLAS does the same)
+        grows, parents, roots = reduce_candidates(grows, parents, roots, semiring, rng)
 
-    # -- fold: send each partial winner to the row-vector owner of its row.
-    # All my rows live in row block i, whose sub-chunks are owned by the pc
-    # ranks of my grid row; the sub index IS the rowcomm rank.
-    sub, _block = A.row_vecmap.owner(grows)
-    rrows, rparents, rroots = route(grid.rowcomm, sub, grows, parents, roots)
+        # -- fold: send each partial winner to the row-vector owner of its row.
+        # All my rows live in row block i, whose sub-chunks are owned by the pc
+        # ranks of my grid row; the sub index IS the rowcomm rank.
+        sub, _block = A.row_vecmap.owner(grows)
+        rrows, rparents, rroots = route(grid.rowcomm, sub, grows, parents, roots)
 
-    # -- destination reduction: one winner per row across all blocks
-    ridx, rpar, rroot = reduce_candidates(rrows, rparents, rroots, semiring, rng)
+        # -- destination reduction: one winner per row across all blocks
+        ridx, rpar, rroot = reduce_candidates(rrows, rparents, rroots, semiring, rng)
     return DistVertexFrontier(grid, A.nrows, "row", ridx, rpar, rroot)
 
 
@@ -126,16 +128,18 @@ def spmv(
     if fc.orient != "col":
         raise ValueError("spmv expects a column frontier")
 
-    # -- expand: assemble the frontier entries of my column block.
-    # colcomm ranks own consecutive sub-ranges of block j, so rank-ordered
-    # concatenation is already sorted by global column id.
-    pieces = allgather_arrays(grid.colcomm, fc.idx, fc.root)
-    gcols = np.concatenate([p[0] for p in pieces])
-    groots = np.concatenate([p[1] for p in pieces])
+    with tspan(grid.comm, "spmv"):
+        # -- expand: assemble the frontier entries of my column block.
+        # colcomm ranks own consecutive sub-ranges of block j, so rank-ordered
+        # concatenation is already sorted by global column id.
+        with tspan(grid.comm, "expand"):
+            pieces = allgather_arrays(grid.colcomm, fc.idx, fc.root)
+            gcols = np.concatenate([p[0] for p in pieces])
+            groots = np.concatenate([p[1] for p in pieces])
 
-    # -- local explode on the DCSC block (select2nd: parent = column id)
-    lrows, parents, roots = A.block.explode_cols(gcols - A.col_lo, gcols, groots)
-    return _fold_and_reduce(A, lrows + A.row_lo, parents, roots, semiring, rng)
+        # -- local explode on the DCSC block (select2nd: parent = column id)
+        lrows, parents, roots = A.block.explode_cols(gcols - A.col_lo, gcols, groots)
+        return _fold_and_reduce(A, lrows + A.row_lo, parents, roots, semiring, rng)
 
 
 def spmv_bottomup(
@@ -174,34 +178,38 @@ def spmv_bottomup(
     if pi_r.orient != "row":
         raise ValueError("spmv_bottomup expects a row-oriented visited vector")
 
-    # -- expand: dense per-block frontier lookup (column block j)
-    pieces = allgather_arrays(grid.colcomm, fc.idx, fc.root)
-    gcols = np.concatenate([p[0] for p in pieces])
-    groots = np.concatenate([p[1] for p in pieces])
-    root_of = np.full(A.block.ncols, NULL, dtype=np.int64)
-    root_of[gcols - A.col_lo] = groots
+    with tspan(grid.comm, "spmv_bottomup"):
+        # -- expand: dense per-block frontier lookup (column block j)
+        with tspan(grid.comm, "expand"):
+            pieces = allgather_arrays(grid.colcomm, fc.idx, fc.root)
+            gcols = np.concatenate([p[0] for p in pieces])
+            groots = np.concatenate([p[1] for p in pieces])
+        root_of = np.full(A.block.ncols, NULL, dtype=np.int64)
+        root_of[gcols - A.col_lo] = groots
 
-    # -- unvisited exchange: assemble row block i's unvisited rows.  rowcomm
-    # ranks own consecutive sub-chunks of block i, so rank-ordered
-    # concatenation is already sorted by global row id.  Bottom-up steps run
-    # exactly when the unvisited set is wide, so the bitmap encoding (one
-    # bit per row of the sub-chunk instead of one word per unvisited row)
-    # usually wins — pack_indices picks per sender by density.
-    mine = np.flatnonzero(pi_r.local == NULL) + pi_r.lo
-    if grid.rowcomm.config.bitmap_frontiers:
-        upieces = grid.rowcomm.allgatherv(pack_indices(mine, pi_r.lo, pi_r.hi))
-        unvisited = np.concatenate([unpack_indices(b) for b in upieces]) - A.row_lo
-    else:
-        upieces = grid.rowcomm.allgatherv(mine)
-        unvisited = np.concatenate(upieces) - A.row_lo
+        # -- unvisited exchange: assemble row block i's unvisited rows.  rowcomm
+        # ranks own consecutive sub-chunks of block i, so rank-ordered
+        # concatenation is already sorted by global row id.  Bottom-up steps run
+        # exactly when the unvisited set is wide, so the bitmap encoding (one
+        # bit per row of the sub-chunk instead of one word per unvisited row)
+        # usually wins — pack_indices picks per sender by density.
+        with tspan(grid.comm, "unvisited_exchange"):
+            mine = np.flatnonzero(pi_r.local == NULL) + pi_r.lo
+            if grid.rowcomm.config.bitmap_frontiers:
+                upieces = grid.rowcomm.allgatherv(pack_indices(mine, pi_r.lo, pi_r.hi))
+                unvisited = np.concatenate([unpack_indices(b) for b in upieces]) - A.row_lo
+            else:
+                upieces = grid.rowcomm.allgatherv(mine)
+                unvisited = np.concatenate(upieces) - A.row_lo
 
-    # -- pull through the cached CSR mirror, filter by frontier membership
-    cand_rows, cand_cols = A.block.explode_rows(unvisited)
-    croots = root_of[cand_cols]
-    hit = croots != NULL
-    grows = cand_rows[hit] + A.row_lo
-    parents = cand_cols[hit] + A.col_lo
-    return _fold_and_reduce(A, grows, parents, croots[hit], semiring, rng)
+        # -- pull through the cached CSR mirror, filter by frontier membership
+        with tspan(grid.comm, "pull"):
+            cand_rows, cand_cols = A.block.explode_rows(unvisited)
+            croots = root_of[cand_cols]
+            hit = croots != NULL
+            grows = cand_rows[hit] + A.row_lo
+            parents = cand_cols[hit] + A.col_lo
+        return _fold_and_reduce(A, grows, parents, croots[hit], semiring, rng)
 
 
 def direction_edge_counts(

@@ -49,6 +49,7 @@ from ..distmat.spmat import DistSparseMatrix
 from ..runtime import Window, spmd
 from ..runtime.checkpoint import Checkpoint, CheckpointStore
 from ..runtime.comm import SUM, Communicator
+from ..runtime.trace import tspan
 from ..sparse.coo import COO
 from ..sparse.semiring import SR_MIN_PARENT, Semiring
 from ..sparse.spvec import NULL
@@ -88,6 +89,13 @@ class DistStats:
     checkpoint_words: int = 0
     #: filled by :func:`run_mcm_dist` when the job ran with ``verify=True``
     verify_summary: "dict[str, int] | None" = None
+
+    # The merged span timeline (:class:`repro.runtime.trace.DistTrace`) when
+    # the job ran with ``trace=...``.  Deliberately a plain class attribute,
+    # NOT a dataclass field: ``dataclasses.asdict(stats)`` (the CLI's
+    # ``--stats-json``) must not serialize it, and a disabled tracer must add
+    # zero entries to DistStats.
+    trace = None
 
 
 # ---------------------------------------------------------------------------
@@ -371,12 +379,13 @@ def _save_checkpoint(
     trajectory of a seeded fault plan deterministic rather than dependent
     on how far ahead the allgather let individual ranks run.
     """
-    g_r = mate_r.to_global()
-    g_c = mate_c.to_global()
-    if grid.comm.rank == 0:
-        store.save(Checkpoint(phase=phase, mate_row=g_r, mate_col=g_c, rng_state=None))
-    grid.comm.barrier()
-    stats.checkpoint_words += g_r.size + g_c.size + 2
+    with tspan(grid.comm, "checkpoint", cat="phase", phase=phase):
+        g_r = mate_r.to_global()
+        g_c = mate_c.to_global()
+        if grid.comm.rank == 0:
+            store.save(Checkpoint(phase=phase, mate_row=g_r, mate_col=g_c, rng_state=None))
+        grid.comm.barrier()
+        stats.checkpoint_words += g_r.size + g_c.size + 2
 
 
 def _phase_boundary(grid: ProcGrid, phase_no: int) -> None:
@@ -440,11 +449,14 @@ def mcm_dist_spmd(
         mate_r.local[:] = resume.mate_row[mate_r.lo:mate_r.hi]
         mate_c.local[:] = resume.mate_col[mate_c.lo:mate_c.hi]
     elif init == "greedy":
-        greedy_init_spmd(A, mate_r, mate_c, semiring)
+        with tspan(grid.comm, "init:greedy", cat="phase"):
+            greedy_init_spmd(A, mate_r, mate_c, semiring)
     elif init == "mindegree":
-        mindegree_init_spmd(A, mate_r, mate_c)
+        with tspan(grid.comm, "init:mindegree", cat="phase"):
+            mindegree_init_spmd(A, mate_r, mate_c)
     elif init == "karp-sipser":
-        karp_sipser_init_spmd(A, mate_r, mate_c)
+        with tspan(grid.comm, "init:karp-sipser", cat="phase"):
+            karp_sipser_init_spmd(A, mate_r, mate_c)
     elif init not in (None, "none"):
         raise ValueError(
             f"unknown distributed init {init!r} (greedy/mindegree/karp-sipser/none)"
@@ -470,90 +482,101 @@ def mcm_dist_spmd(
         phase_no += 1
         stats.phases = phase_no
         _phase_boundary(grid, phase_no)
-        pi_r.local.fill(NULL)
-        path_c.local.fill(NULL)
+        # leaving the ``with`` via the k == 0 break below still closes the
+        # span, so even the final (no-path) phase is timed
+        with tspan(grid.comm, "phase", cat="phase", phase=phase_no):
+            pi_r.local.fill(NULL)
+            path_c.local.fill(NULL)
 
-        # initial column frontier: unmatched columns, parent = root = self
-        lcols = np.flatnonzero(mate_c.local == NULL) + mate_c.lo
-        fc = DistVertexFrontier(grid, A.ncols, "col", lcols, lcols, lcols)
+            # initial column frontier: unmatched columns, parent = root = self
+            lcols = np.flatnonzero(mate_c.local == NULL) + mate_c.lo
+            fc = DistVertexFrontier(grid, A.ncols, "col", lcols, lcols, lcols)
 
-        while fc.global_nnz() > 0:
-            stats.iterations += 1
-            # Step 1: SpMV (expand + fold), direction-optimized.  The
-            # decision must be globally uniform: "auto" allreduces the two
-            # edge counts; fixed modes are trivially uniform.
-            td_local = int(degc_sub[fc.idx - fc.lo].sum())
-            bu_local = int(degr_sub[pi_r.local == NULL].sum())
-            if direction == "auto":
-                td_g, bu_g = direction_edge_counts(A, fc, pi_r)
-                use_bu = bu_g < td_g
+            while fc.global_nnz() > 0:
+                stats.iterations += 1
+                with tspan(grid.comm, "bfs_iter", cat="phase", iter=stats.iterations):
+                    # Step 1: SpMV (expand + fold), direction-optimized.  The
+                    # decision must be globally uniform: "auto" allreduces the
+                    # two edge counts; fixed modes are trivially uniform.
+                    td_local = int(degc_sub[fc.idx - fc.lo].sum())
+                    bu_local = int(degr_sub[pi_r.local == NULL].sum())
+                    if direction == "auto":
+                        td_g, bu_g = direction_edge_counts(A, fc, pi_r)
+                        use_bu = bu_g < td_g
+                    else:
+                        use_bu = direction == "bottomup"
+                    edges_local += bu_local if use_bu else td_local
+                    # the chosen direction appears in the trace as the kernel
+                    # span's name: spmv (top-down) vs spmv_bottomup (pull)
+                    if use_bu:
+                        stats.bottomup_steps += 1
+                        fr = spmv_bottomup(A, fc, pi_r, semiring)
+                    else:
+                        stats.topdown_steps += 1
+                        fr = spmv(A, fc, semiring)
+                    # Step 2: SELECT unvisited rows (a no-op after a bottom-up
+                    # step, which only ever proposes unvisited rows — kept
+                    # unconditionally so both directions share one code path)
+                    fr = fr.keep(pi_r.get_local(fr.idx) == NULL)
+                    # Step 3: SET parents
+                    pi_r.set_local(fr.idx, fr.parent)
+                    # Step 4: split matched/unmatched
+                    unmatched = mate_r.get_local(fr.idx) == NULL
+                    ufr = fr.keep(unmatched)
+                    fr = fr.keep(~unmatched)
+
+                    # Step 5: INVERT roots of unmatched rows into path_c
+                    t_roots, t_rows = invert_route(grid, ufr.root, ufr.idx, path_c)
+                    if t_roots.size:
+                        order = np.lexsort((t_rows, t_roots))
+                        tr_s, tv_s = t_roots[order], t_rows[order]
+                        first = np.empty(tr_s.size, dtype=bool)
+                        first[0] = True
+                        np.not_equal(tr_s[1:], tr_s[:-1], out=first[1:])
+                        tr_s, tv_s = tr_s[first], tv_s[first]
+                        fresh = path_c.get_local(tr_s) == NULL
+                        path_c.set_local(tr_s[fresh], tv_s[fresh])
+
+                    # Step 6: PRUNE trees that found augmenting paths this
+                    # iteration
+                    if prune:
+                        new_roots = allgather_values(grid.comm, np.unique(ufr.root))
+                        if new_roots.size and fr.local_nnz:
+                            fr = fr.keep(~np.isin(fr.root, new_roots))
+
+                    # Step 7: INVERT through mates -> next column frontier
+                    mates = mate_r.get_local(fr.idx)
+                    nc, nroot = invert_route(grid, mates, fr.root, mate_c)
+                    order = np.argsort(nc)
+                    fc = DistVertexFrontier(
+                        grid, A.ncols, "col", nc[order], nc[order], nroot[order]
+                    )
+
+            # phase end: augment by all discovered paths (my local path ends)
+            local_rows = path_c.local[path_c.local != NULL]
+            k = int(grid.comm.allreduce(local_rows.size, op=SUM))
+            if k == 0:
+                break
+            mode = augment if augment != "auto" else choose_augment_mode(k, grid.nprocs)
+            if mode == "level":
+                stats.augment_level_calls += 1
+                with tspan(grid.comm, "augment:level", cat="phase", k=k):
+                    augment_level_spmd(grid, local_rows, pi_r, mate_r, mate_c)
+            elif mode == "path":
+                stats.augment_path_calls += 1
+                with tspan(grid.comm, "augment:path", cat="phase", k=k):
+                    augment_path_spmd_rma(grid, local_rows, pi_r, mate_r, mate_c)
             else:
-                use_bu = direction == "bottomup"
-            edges_local += bu_local if use_bu else td_local
-            if use_bu:
-                stats.bottomup_steps += 1
-                fr = spmv_bottomup(A, fc, pi_r, semiring)
-            else:
-                stats.topdown_steps += 1
-                fr = spmv(A, fc, semiring)
-            # Step 2: SELECT unvisited rows (a no-op after a bottom-up step,
-            # which only ever proposes unvisited rows — kept unconditionally
-            # so both directions share one code path)
-            fr = fr.keep(pi_r.get_local(fr.idx) == NULL)
-            # Step 3: SET parents
-            pi_r.set_local(fr.idx, fr.parent)
-            # Step 4: split matched/unmatched
-            unmatched = mate_r.get_local(fr.idx) == NULL
-            ufr = fr.keep(unmatched)
-            fr = fr.keep(~unmatched)
+                raise ValueError(f"unknown augment mode {mode!r}")
 
-            # Step 5: INVERT roots of unmatched rows into path_c
-            t_roots, t_rows = invert_route(grid, ufr.root, ufr.idx, path_c)
-            if t_roots.size:
-                order = np.lexsort((t_rows, t_roots))
-                tr_s, tv_s = t_roots[order], t_rows[order]
-                first = np.empty(tr_s.size, dtype=bool)
-                first[0] = True
-                np.not_equal(tr_s[1:], tr_s[:-1], out=first[1:])
-                tr_s, tv_s = tr_s[first], tv_s[first]
-                fresh = path_c.get_local(tr_s) == NULL
-                path_c.set_local(tr_s[fresh], tv_s[fresh])
-
-            # Step 6: PRUNE trees that found augmenting paths this iteration
-            if prune:
-                new_roots = allgather_values(grid.comm, np.unique(ufr.root))
-                if new_roots.size and fr.local_nnz:
-                    fr = fr.keep(~np.isin(fr.root, new_roots))
-
-            # Step 7: INVERT through mates -> next column frontier
-            mates = mate_r.get_local(fr.idx)
-            nc, nroot = invert_route(grid, mates, fr.root, mate_c)
-            order = np.argsort(nc)
-            fc = DistVertexFrontier(grid, A.ncols, "col", nc[order], nc[order], nroot[order])
-
-        # phase end: augment by all discovered paths (my local path ends)
-        local_rows = path_c.local[path_c.local != NULL]
-        k = int(grid.comm.allreduce(local_rows.size, op=SUM))
-        if k == 0:
-            break
-        mode = augment if augment != "auto" else choose_augment_mode(k, grid.nprocs)
-        if mode == "level":
-            stats.augment_level_calls += 1
-            augment_level_spmd(grid, local_rows, pi_r, mate_r, mate_c)
-        elif mode == "path":
-            stats.augment_path_calls += 1
-            augment_path_spmd_rma(grid, local_rows, pi_r, mate_r, mate_c)
-        else:
-            raise ValueError(f"unknown augment mode {mode!r}")
-
-        # phase complete: the augmented matching is valid (vertex-disjoint
-        # augmenting paths), so it is a correct restart point
-        if (
-            checkpoint_store is not None
-            and checkpoint_every > 0
-            and phase_no % checkpoint_every == 0
-        ):
-            _save_checkpoint(grid, checkpoint_store, phase_no, mate_r, mate_c, stats)
+            # phase complete: the augmented matching is valid (vertex-disjoint
+            # augmenting paths), so it is a correct restart point
+            if (
+                checkpoint_store is not None
+                and checkpoint_every > 0
+                and phase_no % checkpoint_every == 0
+            ):
+                _save_checkpoint(grid, checkpoint_store, phase_no, mate_r, mate_c, stats)
 
     stats.final_cardinality = int(
         grid.comm.allreduce(int((mate_r.local != NULL).sum()), op=SUM)
@@ -568,34 +591,50 @@ def mcm_dist_spmd(
         ],
         dtype=np.int64,
     )
-    my_by_alg: dict[str, dict[str, int]] = {}
-    for c in (grid.colcomm, grid.rowcomm, grid.comm):
-        for key, d in c.stats.by_alg.items():
-            agg = my_by_alg.setdefault(
-                key, {"calls": 0, "messages": 0, "words": 0, "steps": 0}
-            )
-            for field_name, v in d.items():
-                agg[field_name] += v
     words = grid.comm.allreduce(words, op=SUM)
     stats.expand_words = int(words[0])
     stats.fold_words = int(words[1])
     stats.total_words = int(words[0] + words[1] + words[2])
-    # grid-wide per-algorithm counters: fold the per-rank dicts at rank 0,
-    # replicate the merged table
-    all_by_alg = grid.comm.gather(my_by_alg, root=0)
-    if grid.comm.rank == 0:
-        merged: dict[str, dict[str, int]] = {}
-        for rank_dict in all_by_alg:
-            for key, d in rank_dict.items():
-                agg = merged.setdefault(
-                    key, {"calls": 0, "messages": 0, "words": 0, "steps": 0}
-                )
-                for field_name, v in d.items():
-                    agg[field_name] += v
-    else:
-        merged = None
-    stats.comm_by_alg = grid.comm.bcast(merged, root=0)
-    return mate_r.to_global(), mate_c.to_global(), stats
+    g_r = mate_r.to_global()
+    g_c = mate_c.to_global()
+    # per-algorithm counters, aggregated over this rank's grid/row/column
+    # communicators as the LAST act of the job — no message leaves any rank
+    # after this snapshot, so the per-rank tables account for every word of
+    # the whole job (which is what lets the span tracer cross-check them
+    # exactly).  The drivers sum the rank-local tables into the grid-wide
+    # ``comm_by_alg`` with ZERO extra communication: the executor already
+    # returns every rank's values.
+    stats.comm_by_alg = _local_by_alg(grid)
+    return g_r, g_c, stats
+
+
+def _local_by_alg(grid: ProcGrid) -> dict[str, dict[str, int]]:
+    """This rank's ``{"op:alg": counters}`` summed over the job's three
+    communicators (grid, row, column)."""
+    mine: dict[str, dict[str, int]] = {}
+    for c in (grid.colcomm, grid.rowcomm, grid.comm):
+        for key, d in c.stats.by_alg.items():
+            agg = mine.setdefault(
+                key, {"calls": 0, "messages": 0, "words": 0, "steps": 0}
+            )
+            for field_name, v in d.items():
+                agg[field_name] += v
+    return mine
+
+
+def merge_by_alg(rank_values) -> dict[str, dict[str, int]]:
+    """Driver-side fold of per-rank ``(mate_r, mate_c, stats)`` tuples'
+    local ``comm_by_alg`` tables into the grid-wide table (pure local
+    computation on the already-gathered SPMD return values)."""
+    merged: dict[str, dict[str, int]] = {}
+    for _, _, st in rank_values:
+        for key, d in (st.comm_by_alg or {}).items():
+            agg = merged.setdefault(
+                key, {"calls": 0, "messages": 0, "words": 0, "steps": 0}
+            )
+            for field_name, v in d.items():
+                agg[field_name] += v
+    return merged
 
 
 def run_mcm_dist(
@@ -612,6 +651,7 @@ def run_mcm_dist(
     verify: bool = False,
     faults=None,
     comm_config=None,
+    trace: "bool | str" = False,
 ) -> tuple[np.ndarray, np.ndarray, DistStats]:
     """Launch MCM-DIST on a simulated pr × pc process grid.
 
@@ -628,7 +668,11 @@ def run_mcm_dist(
     injected crashes.  ``comm_config`` optionally pins the collective
     algorithms and payload packing
     (:class:`~repro.runtime.comm.CollectiveConfig`); deterministic semirings
-    yield bit-identical mate vectors under every choice.
+    yield bit-identical mate vectors under every choice.  ``trace`` turns on
+    per-rank span tracing (``True``/``"wall"`` for wall-clock timestamps,
+    ``"ticks"`` for the deterministic clock); the merged
+    :class:`~repro.runtime.trace.DistTrace` lands on ``stats.trace`` —
+    tracing never changes results (the tracer only observes).
     """
     from ..runtime.executor import resolve_timeout
 
@@ -643,8 +687,11 @@ def run_mcm_dist(
     result = spmd(
         pr * pc, main,
         timeout=resolve_timeout(timeout, default=120.0),
-        verify=verify, faults=faults, comm_config=comm_config,
+        verify=verify, faults=faults, comm_config=comm_config, trace=trace,
     )
     mate_r, mate_c, stats = result[0]
+    stats.comm_by_alg = merge_by_alg(result.values)
     stats.verify_summary = result.verify_summary
+    if result.trace is not None:
+        stats.trace = result.trace
     return mate_r, mate_c, stats

@@ -11,10 +11,34 @@ work and the priced communication.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 
 from .machine import MachineSpec, GridShape
 from .timers import Breakdown, Category
+
+
+class MonotonicTicks:
+    """Deterministic monotonic clock: every read advances one tick.
+
+    The span tracer (:mod:`repro.runtime.trace`) stamps events with a
+    callable clock.  Wall time (``time.perf_counter``) is the profiling
+    default, but it makes traces differ run to run; this clock makes a
+    rank's timestamps a pure function of its own sequence of trace calls,
+    so simulated runs trace deterministically — two runs of the same
+    program produce byte-identical trace files.  Each rank owns a private
+    instance (ticks count that rank's events, there is no global order).
+    """
+
+    __slots__ = ("_ticks",)
+
+    def __init__(self) -> None:
+        # itertools.count increments atomically on CPython, so a foreign
+        # thread (the executor's flush of a crashed rank) can read safely.
+        self._ticks = itertools.count()
+
+    def __call__(self) -> float:
+        return float(next(self._ticks))
 
 
 @dataclass

@@ -55,6 +55,7 @@ from .comm import (
 )
 from .pack import pack_arrays, pack_indices, unpack_arrays, unpack_indices
 from .rma import RmaAccessLog, Window
+from .trace import DistTrace, Span, TraceError, Tracer, make_trace_clock, tspan
 from .faults import CrashSpec, FaultInjector, FaultPlan, RetryPolicy
 from .checkpoint import Checkpoint, CheckpointStore, FileCheckpointStore
 from .executor import (
@@ -82,6 +83,7 @@ __all__ = [
     "CrashSpec",
     "DEFAULT_CONFIG",
     "DeadlockError",
+    "DistTrace",
     "Fabric",
     "FaultInjector",
     "FaultPlan",
@@ -99,15 +101,20 @@ __all__ = [
     "RmaAccessLog",
     "RmaRaceError",
     "SUM",
+    "Span",
     "SpmdResult",
+    "TraceError",
+    "Tracer",
     "TransientCommError",
     "Window",
     "WindowError",
+    "make_trace_clock",
     "pack_arrays",
     "pack_indices",
     "resolve_timeout",
     "run_mcm_dist_resilient",
     "spmd",
+    "tspan",
     "unpack_arrays",
     "unpack_indices",
 ]

@@ -258,6 +258,11 @@ class Communicator:
         self.size = len(self.group)
         self.config = DEFAULT_CONFIG if config is None else config
         self.stats = CommStats()
+        #: Optional per-rank span tracer (:class:`repro.runtime.trace.Tracer`),
+        #: attached by the executor under ``spmd(..., trace=...)`` and
+        #: inherited by :meth:`split`.  ``None`` (the default) keeps tracing
+        #: zero-cost: every hook is a single attribute check.
+        self.tracer: "Any | None" = None
         self._coll_seq = 0
         if self.group[rank] < 0 or self.group[rank] >= fabric.nranks:
             raise ValueError("communicator group contains out-of-range fabric rank")
@@ -275,7 +280,11 @@ class Communicator:
         flight, it never blocks on the receiver.
         """
         _check_user_tag(tag, wildcard_ok=False)
+        tok = self._trace_begin("send", dest=dest, tag=tag)
+        before = self._begin_alg()
         self._send_raw(dest, _freeze(payload), tag, "p2p")
+        self._end_alg("send", "p2p", before, 1)
+        self._trace_end(tok, "p2p", 1)
 
     def _send_raw(self, dest: int, payload: Any, tag: int, op: str) -> None:
         self.stats.record(op, payload)
@@ -415,18 +424,44 @@ class Communicator:
             steps,
         )
 
+    def _trace_begin(self, opname: str, **args: Any) -> "tuple[int, int] | None":
+        """Open one comm span and snapshot (messages, words) — the same
+        counters :meth:`_begin_alg` snapshots, and no traffic happens
+        between the two snapshot points, so a span's word delta equals its
+        ``by_alg`` delta *exactly* (the cross-check invariant the traced
+        benchmark asserts).  Returns ``None`` with tracing off."""
+        tr = self.tracer
+        if tr is None:
+            return None
+        tr.begin(opname, cat="comm", comm=self.comm_id, peers=self.size, **args)
+        return self.stats.messages_sent, self.stats.words_sent
+
+    def _trace_end(self, tok: "tuple[int, int] | None", alg: str, steps: int) -> None:
+        if tok is None:
+            return
+        self.tracer.end(
+            alg=alg,
+            steps=steps,
+            messages=self.stats.messages_sent - tok[0],
+            words=self.stats.words_sent - tok[1],
+        )
+
     # -- collectives ----------------------------------------------------------
 
     def barrier(self) -> None:
         """Dissemination barrier: ⌈log₂p⌉ rounds."""
         seq = self._next_seq()
+        tok = self._trace_begin("barrier")
         self._verify("barrier", seq)
+        before = self._begin_alg()
         p, r = self.size, self.rank
         k = 1
         while k < p:
             self._coll_send((r + k) % p, None, "barrier", seq)
             self._coll_recv((r - k) % p, "barrier", seq)
             k *= 2
+        self._end_alg("barrier", "dissemination", before, _log2ceil(p))
+        self._trace_end(tok, "dissemination", _log2ceil(p))
 
     # -- bcast ---------------------------------------------------------------
 
@@ -436,6 +471,7 @@ class Communicator:
         ``config.bcast = "linear"`` pins the naive root-sends-to-all
         baseline."""
         seq = self._next_seq()
+        tok = self._trace_begin("bcast", root=root)
         self._verify("bcast", seq, root=root)
         alg = "binomial" if self.config.bcast == "auto" else self.config.bcast
         before = self._begin_alg()
@@ -446,6 +482,7 @@ class Communicator:
             out = self._bcast_binomial(payload, root, seq)
             steps = _log2ceil(self.size)
         self._end_alg("bcast", alg, before, steps)
+        self._trace_end(tok, alg, steps)
         return out
 
     def _bcast_binomial(self, payload: Any, root: int, seq: int) -> Any:
@@ -486,9 +523,11 @@ class Communicator:
         """Direct gather: every rank sends its payload to ``root``; root
         returns the list ordered by rank, others return ``None``."""
         seq = self._next_seq()
+        tok = self._trace_begin("gather", root=root)
         self._verify("gather", seq, root=root)
+        before = self._begin_alg()
         if self.rank == root:
-            out: list[Any] = [None] * self.size
+            out: "list[Any] | None" = [None] * self.size
             out[root] = _freeze(payload)
             for _ in range(self.size - 1):
                 env = self.fabric.collect(self.global_rank, ANY_SOURCE, self._coll_tag(seq))
@@ -499,9 +538,12 @@ class Communicator:
                     )
                 src_local, item = body
                 out[src_local] = item
-            return out
-        self._coll_send(root, (self.rank, payload), "gather", seq)
-        return None
+        else:
+            self._coll_send(root, (self.rank, payload), "gather", seq)
+            out = None
+        self._end_alg("gather", "direct", before, max(0, self.size - 1))
+        self._trace_end(tok, "direct", max(0, self.size - 1))
+        return out
 
     def gatherv(self, payload: Any, root: int = 0) -> list[Any] | None:
         """Alias of :meth:`gather` — variable-size payloads are natural here."""
@@ -510,15 +552,21 @@ class Communicator:
     def scatter(self, payloads: Sequence[Any] | None, root: int = 0) -> Any:
         """Root distributes ``payloads[i]`` to rank ``i``; returns own piece."""
         seq = self._next_seq()
+        tok = self._trace_begin("scatter", root=root)
         self._verify("scatter", seq, root=root)
+        before = self._begin_alg()
         if self.rank == root:
             if payloads is None or len(payloads) != self.size:
                 raise ValueError("scatter root must supply one payload per rank")
             for dst in range(self.size):
                 if dst != root:
                     self._coll_send(dst, payloads[dst], "scatter", seq)
-            return _freeze(payloads[root])
-        return self._coll_recv(root, "scatter", seq)
+            out = _freeze(payloads[root])
+        else:
+            out = self._coll_recv(root, "scatter", seq)
+        self._end_alg("scatter", "direct", before, max(0, self.size - 1))
+        self._trace_end(tok, "direct", max(0, self.size - 1))
+        return out
 
     # -- allgather -------------------------------------------------------------
 
@@ -529,6 +577,7 @@ class Communicator:
         p-1 blocks per rank the ring moves in p-1 rounds;
         ``config.allgather = "ring"`` pins the naive ring baseline."""
         seq = self._next_seq()
+        tok = self._trace_begin("allgather")
         self._verify("allgather", seq)
         alg = "dissemination" if self.config.allgather == "auto" else self.config.allgather
         before = self._begin_alg()
@@ -539,6 +588,7 @@ class Communicator:
             out = self._allgather_dissemination(payload, seq)
             steps = _log2ceil(self.size)
         self._end_alg("allgather", alg, before, steps)
+        self._trace_end(tok, alg, steps)
         return out
 
     def _allgather_ring(self, payload: Any, seq: int) -> list[Any]:
@@ -600,6 +650,7 @@ class Communicator:
                 f"alltoall needs exactly {self.size} payloads, got {len(payloads)}"
             )
         seq = self._next_seq()
+        tok = self._trace_begin("alltoall")
         self._verify("alltoall", seq)
         p, r = self.size, self.rank
         rounds = _log2ceil(p)
@@ -630,6 +681,7 @@ class Communicator:
             out = self._alltoall_pairwise(payloads, seq)
             steps = extra_steps + max(0, p - 1)
         self._end_alg("alltoall", alg, before, steps)
+        self._trace_end(tok, alg, steps)
         return out
 
     def _dissemination_max(self, value: int, seq: int) -> int:
@@ -692,6 +744,7 @@ class Communicator:
         ``None`` elsewhere.  Binomial tree by default; ``config.reduce =
         "linear"`` pins the naive everyone-sends-to-root baseline."""
         seq = self._next_seq()
+        tok = self._trace_begin("reduce", root=root, op=op.name)
         self._verify("reduce", seq, root=root, extra=(op.name,) + _payload_sig(payload))
         alg = "binomial" if self.config.reduce == "auto" else self.config.reduce
         before = self._begin_alg()
@@ -702,6 +755,7 @@ class Communicator:
             out = self._reduce_binomial(payload, op, root, seq)
             steps = _log2ceil(self.size)
         self._end_alg("reduce", alg, before, steps)
+        self._trace_end(tok, alg, steps)
         return out
 
     def _reduce_binomial(self, payload: Any, op: ReduceOp, root: int, seq: int) -> Any:
@@ -740,6 +794,7 @@ class Communicator:
         "linear" (naive linear reduce + linear bcast).
         """
         alg = "doubling" if self.config.allreduce == "auto" else self.config.allreduce
+        tok = self._trace_begin("allreduce", op=op.name)
         before = self._begin_alg()
         if alg == "doubling":
             seq = self._next_seq()
@@ -765,6 +820,7 @@ class Communicator:
                 out = self._bcast_binomial(acc, 0, seq2)
                 steps = 2 * _log2ceil(self.size)
         self._end_alg("allreduce", alg, before, steps)
+        self._trace_end(tok, alg, steps)
         return out
 
     def _allreduce_doubling(self, payload: Any, op: ReduceOp, seq: int) -> tuple[Any, int]:
@@ -817,17 +873,25 @@ class Communicator:
         receives op-fold of payloads from ranks 0..i-1.
         """
         seq = self._next_seq()
+        tok = self._trace_begin("exscan", op=op.name)
         self._verify("exscan", seq, extra=(op.name,) + _payload_sig(payload))
+        before = self._begin_alg()
         prefix = None
         if self.rank > 0:
             prefix = self._coll_recv(self.rank - 1, "exscan", seq)
         if self.rank + 1 < self.size:
             mine = _freeze(payload) if prefix is None else op(prefix, payload)
             self._coll_send(self.rank + 1, mine, "exscan", seq)
+        self._end_alg("exscan", "chain", before, max(0, self.size - 1))
+        self._trace_end(tok, "chain", max(0, self.size - 1))
         return prefix
 
     def scan(self, payload: Any, op: ReduceOp = SUM) -> Any:
-        """Inclusive prefix reduction along the rank chain."""
+        """Inclusive prefix reduction along the rank chain.
+
+        Traced as its inner :meth:`exscan` (scan itself moves no extra
+        words, and a second span would double-count the chain's traffic).
+        """
         prefix = self.exscan(payload, op)
         return _freeze(payload) if prefix is None else op(prefix, payload)
 
@@ -845,15 +909,26 @@ class Communicator:
         ``config``.
         """
         seq = self._next_seq()
+        tok = self._trace_begin("split", color=color)
         self._verify("split", seq)
+        before = self._begin_alg()
         key = self.rank if key is None else key
         self.fabric.last_blocked[self.global_rank] = ("split", self.comm_id, seq)
+        tr = self.tracer
+        t0 = tr.now() if tr is not None else 0.0
         new_id, members_parent_ranks = self.fabric.split_rendezvous(
             self.comm_id, seq, self.size, self.rank, color, key
         )
+        if tr is not None:
+            # the rendezvous is split's blocking point (last rank computes)
+            tr.add_wait(tr.now() - t0)
         group = [self.group[r] for r in members_parent_ranks]
         my_pos = members_parent_ranks.index(self.rank)
-        return Communicator(self.fabric, new_id, group, my_pos, config=self.config)
+        child = Communicator(self.fabric, new_id, group, my_pos, config=self.config)
+        child.tracer = self.tracer
+        self._end_alg("split", "rendezvous", before, 1)
+        self._trace_end(tok, "rendezvous", 1)
+        return child
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Communicator(id={self.comm_id}, rank={self.rank}/{self.size})"

@@ -32,6 +32,7 @@ from .errors import (
 )
 from .fabric import Fabric
 from .faults import FaultInjector, FaultPlan
+from .trace import DistTrace, Tracer, make_trace_clock, merge_tracers
 
 #: Environment override for the deadlock/timeout window of every blocking
 #: runtime call (seconds); explicit ``timeout=`` arguments win over it.
@@ -58,6 +59,9 @@ class SpmdResult:
     #: Verification counters when the job ran with ``verify=True``
     #: (``{"collectives_checked": ..., "rma_ops_checked": ...}``), else None.
     verify_summary: "dict[str, int] | None" = None
+    #: Merged per-rank span timeline when the job ran with ``trace=...``
+    #: (:class:`~repro.runtime.trace.DistTrace`), else None.
+    trace: "DistTrace | None" = None
 
     def __post_init__(self) -> None:
         self.nranks = len(self.values)
@@ -99,6 +103,7 @@ def spmd(
     faults: "FaultInjector | FaultPlan | None" = None,
     join_grace: float = 5.0,
     comm_config: "CollectiveConfig | None" = None,
+    trace: "bool | str" = False,
     **kwargs: Any,
 ) -> SpmdResult:
     """Run ``fn(comm, *args, **kwargs)`` on ``nranks`` simulated ranks.
@@ -125,6 +130,17 @@ def spmd(
         collective algorithms (and payload packing) for the base
         communicator and everything :meth:`Communicator.split` derives from
         it.  ``None`` uses the latency-aware engine defaults.
+    trace:
+        Span tracing.  ``False`` (the default) keeps every hook a single
+        attribute check and adds nothing to the result; ``True`` or
+        ``"wall"`` records per-rank span timelines with wall-clock
+        timestamps; ``"ticks"`` uses a deterministic per-rank tick clock
+        (byte-identical traces across runs of the same program).  The
+        merged :class:`~repro.runtime.trace.DistTrace` lands on
+        ``result.trace`` — or on the raised exception's ``spmd_trace``
+        attribute when the job fails, with crashed ranks' open spans
+        flushed (marked ``truncated``) and one ``fault:<Error>`` span per
+        errored rank.
     join_grace:
         Final join window (seconds) before a non-terminating rank is
         reported via :class:`TimeoutError`; tests shrink it.
@@ -158,6 +174,14 @@ def spmd(
         Communicator(fabric, comm_id=0, group=range(nranks), rank=r, config=comm_config)
         for r in range(nranks)
     ]
+    tracers = None
+    clock_kind = ""
+    if trace:
+        clock_kind = "wall" if trace is True else str(trace)
+        tracers = [Tracer(r, make_trace_clock(clock_kind)) for r in range(nranks)]
+        fabric.tracers = tracers
+        for r in range(nranks):
+            comms[r].tracer = tracers[r]
     outcomes = [_RankOutcome() for _ in range(nranks)]
 
     def runner(rank: int) -> None:
@@ -184,6 +208,21 @@ def spmd(
     for t in threads:
         t.join(timeout=join_grace)
 
+    dist_trace = None
+    if tracers is not None:
+        # faults/restarts must be diagnosable from the trace alone: every
+        # errored rank gets an explicit zero-length fault span before its
+        # open spans are flushed (and marked truncated) by the merge
+        for r, oc in enumerate(outcomes):
+            if oc.error is not None:
+                tr = tracers[r]
+                tr.add_complete(
+                    f"fault:{type(oc.error).__name__}",
+                    ts=tr.now(), dur=0.0, cat="fault",
+                    error=str(oc.error)[:200],
+                )
+        dist_trace = merge_tracers(tracers, clock_kind)
+
     primary: tuple[int, BaseException] | None = None
     for r, oc in enumerate(outcomes):
         if oc.error is not None and not isinstance(oc.error, CommAbort):
@@ -198,10 +237,14 @@ def spmd(
         else:
             for r, oc in enumerate(outcomes):
                 if not oc.finished:
-                    raise TimeoutError(
+                    hung = TimeoutError(
                         f"spmd rank {r} failed to terminate; "
                         f"last blocked operation: {fabric.describe_blocked(r)}"
                     )
+                    hung.spmd_rank = r
+                    hung.spmd_progress = dict(fabric.progress)
+                    hung.spmd_trace = dist_trace
+                    raise hung
     if primary is not None:
         rank, err = primary
         wrapped = type(err)(f"[spmd rank {rank}] {err}")
@@ -210,6 +253,7 @@ def spmd(
         # ``Fabric.note_progress``).
         wrapped.spmd_rank = rank
         wrapped.spmd_progress = dict(fabric.progress)
+        wrapped.spmd_trace = dist_trace
         raise wrapped from err
 
     # A clean job must fully drain its collective traffic.  Leftovers mean
@@ -244,6 +288,7 @@ def spmd(
         values=[oc.value for oc in outcomes],
         stats=[c.stats for c in comms],
         verify_summary=verify_summary,
+        trace=dist_trace,
     )
 
 
@@ -272,6 +317,7 @@ def run_mcm_dist_resilient(
     timeout: "float | None" = None,
     verify: bool = False,
     comm_config: "CollectiveConfig | None" = None,
+    trace: "bool | str" = False,
     restart_on: tuple = RECOVERABLE_ERRORS,
     **mcm_kwargs: Any,
 ):
@@ -294,6 +340,11 @@ def run_mcm_dist_resilient(
 
     Returns ``(mate_r, mate_c, stats)`` with ``stats.restarts``,
     ``stats.phases_replayed`` and ``stats.checkpoint_words`` recorded.
+
+    With ``trace`` set (see :func:`spmd`), every attempt's timeline —
+    including the failed ones, fault spans and truncated spans intact —
+    is concatenated into one :class:`~repro.runtime.trace.DistTrace` with
+    an explicit ``restart`` span at each seam, attached as ``stats.trace``.
     """
     from ..matching.mcm_dist import mcm_dist_spmd  # local: avoid import cycle
 
@@ -301,6 +352,17 @@ def run_mcm_dist_resilient(
     disarmed: set = set()
     restarts = 0
     phases_replayed = 0
+    job_trace: "DistTrace | None" = None
+
+    def merge_attempt(attempt_trace: "DistTrace | None") -> None:
+        nonlocal job_trace
+        if attempt_trace is None:
+            return
+        if job_trace is None:
+            job_trace = attempt_trace
+        else:
+            job_trace = job_trace.concat(attempt_trace, "restart", attempt=restarts)
+
     while True:
         injector = (
             FaultInjector(faults, pr * pc, disarmed=disarmed)
@@ -322,10 +384,12 @@ def run_mcm_dist_resilient(
         try:
             result = spmd(
                 pr * pc, main, timeout=timeout, verify=verify, faults=injector,
-                comm_config=comm_config,
+                comm_config=comm_config, trace=trace,
             )
+            merge_attempt(result.trace)
             break
         except restart_on as exc:
+            merge_attempt(getattr(exc, "spmd_trace", None))
             if injector is not None:
                 disarmed |= injector.fired_tokens()
             restarts += 1
@@ -339,9 +403,13 @@ def run_mcm_dist_resilient(
             # attempt resumes from must run again
             phases_replayed += max(0, reached - 1 - restart_from)
 
+    from ..matching.mcm_dist import merge_by_alg
+
     mate_r, mate_c, stats = result[0]
+    stats.comm_by_alg = merge_by_alg(result.values)
     stats.verify_summary = result.verify_summary
     stats.restarts = restarts
     stats.phases_replayed = phases_replayed
     stats.checkpoint_words = store.words_written
+    stats.trace = job_trace
     return mate_r, mate_c, stats

@@ -245,6 +245,11 @@ class Fabric:
         #: window access is race-checked (see ``spmd(..., verify=True)``).
         self.verify = verify
         self.collective_trace = CollectiveTrace() if verify else None
+        #: Per-rank span tracers (:class:`repro.runtime.trace.Tracer`),
+        #: attached by the executor under ``spmd(..., trace=...)``.  ``None``
+        #: (the default) keeps tracing zero-cost: every hook site guards on
+        #: this attribute with a single ``is None`` check.
+        self.tracers: "list[Any] | None" = None
         self._rma_logs: dict[int, Any] = {}
         self.mailboxes = [Mailbox(self, r) for r in range(nranks)]
         self._abort = threading.Event()
@@ -310,7 +315,17 @@ class Fabric:
         return f"recv(source={peer}, tag={tag_s})"
 
     def collect(self, rank: int, source: int, tag: int) -> Envelope:
-        return self.mailboxes[rank].collect(source, tag)
+        tracers = self.tracers
+        if tracers is None:
+            return self.mailboxes[rank].collect(source, tag)
+        # wait-vs-work split: the mailbox match is the runtime's blocking
+        # point, so the time spent inside it is this rank's wait, charged
+        # to the innermost open span (usually the enclosing collective)
+        tr = tracers[rank]
+        t0 = tr.now()
+        env = self.mailboxes[rank].collect(source, tag)
+        tr.add_wait(tr.now() - t0)
+        return env
 
     def probe(self, rank: int, source: int, tag: int) -> bool:
         return self.mailboxes[rank].probe(source, tag)

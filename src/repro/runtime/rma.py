@@ -163,6 +163,44 @@ class Window:
         self.rma_words = 0
         self.rma_retries = 0
         self._epoch_open = True  # passive-target: always accessible
+        # span tracing: epochs of different windows interleave (the path
+        # augmentation fences three windows back to back), so epoch spans
+        # cannot live on the tracer's nesting main stack — each window gets
+        # its own ``rma:w<id>`` lane of complete spans, one per epoch,
+        # carrying the op/word deltas accumulated since the previous fence.
+        self._tracer = comm.tracer
+        self._epoch_no = 0
+        if self._tracer is not None:
+            # rank-local creation-order label, NOT self.win_id: the real id
+            # is process-global, which would break tick-trace determinism
+            self._trace_win = self._tracer.next_win_id()
+            self._ep_t0 = self._tracer.now()
+            self._ep_ops = 0
+            self._ep_words = 0
+
+    def _trace_epoch(self, close: str) -> None:
+        """Record the epoch ending now (at a fence or the final free) as a
+        complete span on this window's lane; open the next epoch."""
+        tr = self._tracer
+        if tr is None:
+            return
+        now = tr.now()
+        tr.add_complete(
+            "rma_epoch",
+            ts=self._ep_t0,
+            dur=now - self._ep_t0,
+            cat="rma",
+            track=f"rma:w{self._trace_win}",
+            win=self._trace_win,
+            epoch=self._epoch_no,
+            close=close,
+            ops=self.rma_ops - self._ep_ops,
+            words=self.rma_words - self._ep_words,
+        )
+        self._epoch_no += 1
+        self._ep_t0 = now
+        self._ep_ops = self.rma_ops
+        self._ep_words = self.rma_words
 
     # A per-window, per-target lock list shared by all rank-local Window
     # objects of the same window id.  Stored on the fabric slot list's
@@ -192,6 +230,7 @@ class Window:
             )
         if self._tracker is not None:
             self._tracker.advance(self.comm.rank)
+        self._trace_epoch("fence")
         self.comm.barrier()
 
     def free(self) -> None:
@@ -201,6 +240,7 @@ class Window:
                 f"double free of window {self.win_id}: Window.free() was "
                 "already called"
             )
+        self._trace_epoch("free")
         self.comm.barrier()
         self._epoch_open = False
         if self.comm.rank == 0:

@@ -26,17 +26,21 @@ breakdowns like the paper's figures.
 """
 
 from .costsim import SimResult, Trace, price, record, scaled_machine, simulate_mcm, sweep
+from .critpath import analyze, format_report, report_trace
 from .gather_model import gather_scatter_time
 from . import report
 
 __all__ = [
     "SimResult",
     "Trace",
+    "analyze",
+    "format_report",
     "gather_scatter_time",
     "price",
     "record",
-    "scaled_machine",
     "report",
+    "report_trace",
+    "scaled_machine",
     "simulate_mcm",
     "sweep",
 ]

@@ -6,6 +6,7 @@ run, produce a valid maximum matching, and (for crash plans) record at
 least one restart.
 """
 
+import json
 import time
 
 import numpy as np
@@ -112,6 +113,37 @@ def test_same_seed_and_plan_reproduce_the_same_restart_trajectory(graph):
     assert np.array_equal(mates_a, mates_b)
     assert (restarts_a, replayed_a) == (restarts_b, replayed_b)
     assert restarts_a >= 1
+
+
+def test_chaos_trace_merges_attempts_with_explicit_restart_spans(graph, baseline):
+    """Tracing under fault injection: every attempt's timeline — the killed
+    one included — lands in one merged trace with the rank death and each
+    restart visible as explicit spans, and the export is valid JSON with
+    balanced begin/end pairs."""
+    from repro.runtime import DistTrace
+
+    coo, _ = graph
+    plan = FaultPlan.parse("crash:rank=any,at=phase:every", seed=1)
+    mate_r, _, stats = run_mcm_dist_resilient(
+        coo, 2, 2, faults=plan, max_restarts=30, trace="ticks"
+    )
+    assert stats.restarts >= 1
+    assert cardinality(mate_r) == baseline[(2, 2)]
+    trace = stats.trace
+    assert trace is not None
+    fault_spans = [sp for sp in trace.all_spans() if sp.cat == "fault"]
+    names = {sp.name for sp in fault_spans}
+    assert "restart" in names  # the seam between merged attempts
+    assert any(n.startswith("fault:") for n in names)  # the rank death
+    # one restart seam per recovery, stamped on every rank
+    seams = [sp for sp in fault_spans if sp.name == "restart"]
+    assert len(seams) == stats.restarts * trace.nranks
+    assert len(trace.meta["attempts"]) == stats.restarts
+    # a killed attempt leaves truncated spans, and they are all closed
+    assert any(sp.args.get("truncated") for sp in trace.all_spans())
+    doc = json.loads(json.dumps(trace.to_chrome()))
+    back = DistTrace.from_chrome(doc)  # raises TraceError if unbalanced
+    assert back.nspans == trace.nspans
 
 
 # -- mid-collective crashes: the engine's multi-round schedules must not

@@ -99,6 +99,56 @@ def test_spmd_stats_json_dump(tmp_path, capsys):
         assert counters["calls"] >= 1
 
 
+def test_spmd_trace_and_trace_report(tmp_path, capsys):
+    import json
+
+    from repro.runtime.trace import DistTrace
+
+    trace_path = tmp_path / "out.json"
+    stats_path = tmp_path / "stats.json"
+    assert main(["spmd", "--rmat", "er:7", "--pr", "2", "--pc", "2",
+                 "--trace", str(trace_path), "--trace-clock", "ticks",
+                 "--stats-json", str(stats_path)]) == 0
+    out = capsys.readouterr().out
+    assert f"trace written to {trace_path}" in out
+
+    # Perfetto-loadable: valid JSON with trace events, and the traced
+    # per-op:alg word totals equal the stats' collective counters exactly
+    doc = json.loads(trace_path.read_text())
+    assert doc["traceEvents"]
+    trace = DistTrace.from_chrome(doc)
+    by_alg = json.loads(stats_path.read_text())["comm_by_alg"]
+    traced = trace.comm_words_by_key()
+    assert set(traced) == set(by_alg)
+    for key, counters in by_alg.items():
+        assert traced[key] == counters["words"], key
+
+    assert main(["trace-report", str(trace_path), "--top", "3"]) == 0
+    report = capsys.readouterr().out
+    assert "critical path" in report
+    assert "phase 1" in report  # dominant span named per phase
+    assert "top spans by self time:" in report
+
+    assert main(["trace-report", str(trace_path), "--format", "json"]) == 0
+    rep = json.loads(capsys.readouterr().out)
+    assert rep["nranks"] == 4
+    assert all(ph["dominant"] for ph in rep["phases"])
+
+
+def test_spmd_chaos_trace_exports_restart_spans(tmp_path, capsys):
+    import json
+
+    trace_path = tmp_path / "chaos.json"
+    assert main(["spmd", "--rmat", "er:6", "--pr", "2", "--pc", "2",
+                 "--chaos", "1", "--max-restarts", "20",
+                 "--trace", str(trace_path), "--trace-clock", "ticks"]) == 0
+    doc = json.loads(trace_path.read_text())
+    names = {ev["name"] for ev in doc["traceEvents"] if ev.get("cat") == "fault"}
+    assert "restart" in names
+    assert main(["trace-report", str(trace_path)]) == 0
+    assert "restart(s)" in capsys.readouterr().out
+
+
 def test_spmd_chaos_recovers_and_reports(capsys):
     assert main(["spmd", "--rmat", "er:6", "--pr", "2", "--pc", "2",
                  "--chaos", "1"]) == 0
