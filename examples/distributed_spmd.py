@@ -23,19 +23,22 @@ from repro.runtime import NAIVE_CONFIG, spmd
 from repro.simulate.critpath import report_trace
 
 
+def rank_main(comm, coo, pr, pc):
+    # module-level (not a closure) so a process backend could pickle it —
+    # exactly what `repro lint` rule SPMD703 enforces
+    data = coo if comm.rank == 0 else None
+    return mcm_dist_spmd(comm, data, pr, pc, init="greedy", augment="auto")
+
+
 def main() -> None:
     coo = rmat.ssca(scale=10, seed=5)
     print(f"graph: {coo.nrows:,} x {coo.ncols:,}, {coo.nnz:,} edges")
 
     pr = pc = 3
 
-    def rank_main(comm):
-        data = coo if comm.rank == 0 else None
-        return mcm_dist_spmd(comm, data, pr, pc, init="greedy", augment="auto")
-
     # traced run on the default (latency-aware) collective engine; the
     # deterministic tick clock makes the trace byte-identical across runs
-    result = spmd(pr * pc, rank_main, timeout=300.0, trace="ticks")
+    result = spmd(pr * pc, rank_main, coo, pr, pc, timeout=300.0, trace="ticks")
     mate_r, mate_c, stats = result[0]
 
     print(f"grid                 : {pr} x {pc} simulated ranks")
@@ -53,7 +56,8 @@ def main() -> None:
     print(f"  total: {result.total_messages:,} messages, {result.total_words:,} words")
 
     # -- collective engine vs naive baselines (comm_config) ------------------
-    naive = spmd(pr * pc, rank_main, timeout=300.0, comm_config=NAIVE_CONFIG)
+    naive = spmd(pr * pc, rank_main, coo, pr, pc,
+                 timeout=300.0, comm_config=NAIVE_CONFIG)
     eng_steps = sum(d["steps"] for d in merge_by_alg(result.values).values())
     nai_steps = sum(d["steps"] for d in merge_by_alg(naive.values).values())
     print(f"\ncollective engine    : {eng_steps:,} modeled latency steps "

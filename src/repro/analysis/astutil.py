@@ -207,3 +207,106 @@ def walk_functions(tree: ast.AST) -> Iterator[ast.FunctionDef | ast.AsyncFunctio
     for node in ast.walk(tree):
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
             yield node
+
+
+def own_nodes(fn: ast.AST) -> Iterator[ast.AST]:
+    """Like ``ast.walk`` but stops at nested function/class definitions.
+
+    The first-generation rules used ``ast.walk(fn)`` and therefore attributed
+    nested functions' statements to the enclosing function (and reported them
+    twice, once per scope).  Every per-function rule walks ``own_nodes``
+    instead: nested definitions execute in their own frame and are analyzed
+    as their own functions by :func:`walk_functions`.
+    """
+    stack: list[ast.AST] = [fn]
+    while stack:
+        node = stack.pop()
+        yield node
+        if node is not fn and isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)):
+            continue  # the definition itself is visible; its body is not
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def own_statements(fn: ast.AST) -> list[ast.stmt]:
+    """All statements of ``fn``'s own body, source order, skipping nested
+    function/class bodies."""
+    out = [n for n in own_nodes(fn) if isinstance(n, ast.stmt) and n is not fn]
+    return sorted(out, key=lambda s: (s.lineno, s.col_offset))
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """Flatten ``a.b.c`` (Names and Attributes only) to ``"a.b.c"``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def always_terminates(stmts: list[ast.stmt]) -> bool:
+    """Does every path through ``stmts`` leave the enclosing code sequence
+    (return / raise / break / continue)?  Structural approximation: loops
+    are assumed able to complete normally."""
+    for stmt in stmts:
+        if isinstance(stmt, (ast.Return, ast.Raise, ast.Break, ast.Continue)):
+            return True
+        if isinstance(stmt, ast.If) and stmt.orelse \
+                and always_terminates(stmt.body) and always_terminates(stmt.orelse):
+            return True
+        if isinstance(stmt, ast.Try):
+            tails = [stmt.body + stmt.orelse] + [h.body for h in stmt.handlers]
+            if stmt.finalbody and always_terminates(stmt.finalbody):
+                return True
+            if all(always_terminates(t) for t in tails):
+                return True
+    return False
+
+
+def assigned_names(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Names bound in the function's own scope: params plus assignment /
+    for-target / with-as / import bindings (nested defs excluded)."""
+    a = fn.args
+    names = {p.arg for p in a.args + a.kwonlyargs + a.posonlyargs}
+    if a.vararg:
+        names.add(a.vararg.arg)
+    if a.kwarg:
+        names.add(a.kwarg.arg)
+    for node in own_nodes(fn):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for tgt in targets:
+                for sub in ast.walk(tgt):
+                    # Store-context Names only: ``x[k] = v`` / ``x.a = v``
+                    # mutate ``x`` without binding it in this scope
+                    if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Store):
+                        names.add(sub.id)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            for sub in ast.walk(node.target):
+                if isinstance(sub, ast.Name):
+                    names.add(sub.id)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    for sub in ast.walk(item.optional_vars):
+                        if isinstance(sub, ast.Name):
+                            names.add(sub.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if node is not fn:
+                names.add(node.name)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                names.add((alias.asname or alias.name).split(".")[0])
+    return names
+
+
+def comm_param_names(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Parameters that look like communicators (``comm``, ``row_comm``…)."""
+    out = set()
+    for arg in fn.args.args + fn.args.kwonlyargs + fn.args.posonlyargs:
+        if arg.arg == "comm" or arg.arg.endswith("comm"):
+            out.add(arg.arg)
+    return out

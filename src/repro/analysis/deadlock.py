@@ -1,0 +1,632 @@
+"""SPMD5xx: static deadlock detection for point-to-point protocols.
+
+The rules symbolically execute each SPMD function once per rank for a few
+small world sizes (p = 2, 3, 4).  The interpreter evaluates rank-dependent
+branches and peer/tag expressions concretely (``comm.rank``, ``comm.size``,
+integer arithmetic, bounded ``range`` loops, one level of module-local
+helper calls), producing per-rank sequences of blocking operations.  A
+matching simulator then replays the sequences under the runtime's
+semantics — sends are buffered (non-blocking), receives block until a
+matching ``(source, tag)`` envelope is posted, collectives are global
+synchronization points — and classifies any stuck state:
+
+SPMD501
+    A rank blocks in a ``recv`` whose ``(peer, tag)`` no rank ever sends —
+    the message simply does not exist in the protocol.
+SPMD502
+    Ranks block in a cycle: each waits for a message its peer only sends
+    *after* its own blocked receive — the classic head-of-line deadlock
+    (e.g. every rank of a ring receives before it sends).
+
+Soundness stance: the interpreter **bails out** (reports nothing) whenever
+it meets an expression or statement it cannot evaluate exactly — unknown
+peers, unbounded ``while`` loops around p2p calls, unresolved helpers.
+A reported deadlock is therefore a real execution of the protocol at the
+reported world size, never a may-alias guess.  Fixtures for both rules
+demonstrably hang the simulated fabric (see ``examples/buggy_spmd.py`` and
+the differential tests).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from .astutil import call_method_name, receiver_name
+from .engine import ModuleModel
+from .report import Finding
+
+#: World sizes to simulate.  Small is enough: the protocols the rules
+#: target (rings, pairwise exchanges, root gathers) misbehave identically
+#: at every p, and p <= 4 keeps the interpreter trivially fast.
+WORLD_SIZES = (2, 3, 4)
+
+_ANY = -1  # wildcard source/tag (ANY_SOURCE / ANY_TAG)
+_MAX_OPS = 64
+_MAX_ITER = 16
+_MAX_DEPTH = 3
+
+
+class _Bail(Exception):
+    """Raised when a function is not exactly analyzable; no findings."""
+
+
+@dataclass(frozen=True)
+class Op:
+    kind: str  # "send" | "recv" | "coll"
+    peer: int = _ANY  # dest for send, source for recv
+    tag: int = _ANY
+    op: str = ""  # collective name
+    node: ast.AST | None = None  # anchor call
+    #: the op's peer/tag is rank-derived, or it sits under a rank-dependent
+    #: branch — the gate that separates genuine SPMD protocols (rings,
+    #: neighbor exchanges, root-guarded receives) from helper halves meant
+    #: to run on a single rank (a "server loop" is not a deadlock just
+    #: because *if* every rank ran it, it would block)
+    rank_dep: bool = False
+
+
+# --------------------------------------------------------------------------
+# expression evaluation
+
+
+def _eval_int(expr: ast.expr, env: dict) -> int:
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, int) \
+            and not isinstance(expr.value, bool):
+        return expr.value
+    if isinstance(expr, ast.Name):
+        if expr.id in env:
+            v = env[expr.id]
+            if isinstance(v, int):
+                return v
+        raise _Bail
+    if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
+        if expr.value.id in env.get("__comms__", ()):
+            if expr.attr == "rank":
+                return env["rank"]
+            if expr.attr == "size":
+                return env["size"]
+        raise _Bail
+    if isinstance(expr, ast.UnaryOp) and isinstance(expr.op, ast.USub):
+        return -_eval_int(expr.operand, env)
+    if isinstance(expr, ast.BinOp):
+        lhs, rhs = _eval_int(expr.left, env), _eval_int(expr.right, env)
+        op = expr.op
+        if isinstance(op, ast.Add):
+            return lhs + rhs
+        if isinstance(op, ast.Sub):
+            return lhs - rhs
+        if isinstance(op, ast.Mult):
+            return lhs * rhs
+        if isinstance(op, ast.Mod) and rhs != 0:
+            return lhs % rhs
+        if isinstance(op, ast.FloorDiv) and rhs != 0:
+            return lhs // rhs
+        if isinstance(op, ast.LShift) and 0 <= rhs < 64:
+            return lhs << rhs
+        if isinstance(op, ast.BitOr):
+            return lhs | rhs
+        if isinstance(op, ast.BitAnd):
+            return lhs & rhs
+    raise _Bail
+
+
+def _eval_bool(expr: ast.expr, env: dict) -> bool:
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, bool):
+        return expr.value
+    if isinstance(expr, ast.UnaryOp) and isinstance(expr.op, ast.Not):
+        return not _eval_bool(expr.operand, env)
+    if isinstance(expr, ast.BoolOp):
+        vals = [_eval_bool(v, env) for v in expr.values]
+        return all(vals) if isinstance(expr.op, ast.And) else any(vals)
+    if isinstance(expr, ast.Compare) and len(expr.ops) == 1:
+        lhs = _eval_int(expr.left, env)
+        rhs = _eval_int(expr.comparators[0], env)
+        op = expr.ops[0]
+        if isinstance(op, ast.Eq):
+            return lhs == rhs
+        if isinstance(op, ast.NotEq):
+            return lhs != rhs
+        if isinstance(op, ast.Lt):
+            return lhs < rhs
+        if isinstance(op, ast.LtE):
+            return lhs <= rhs
+        if isinstance(op, ast.Gt):
+            return lhs > rhs
+        if isinstance(op, ast.GtE):
+            return lhs >= rhs
+        raise _Bail
+    return bool(_eval_int(expr, env))
+
+
+# --------------------------------------------------------------------------
+# the per-rank interpreter
+
+
+class _Return(Exception):
+    pass
+
+
+def _contains_comm_calls(stmts: list[ast.stmt], model: ModuleModel) -> bool:
+    from .astutil import TAGGED_METHODS, is_collective_call
+
+    for stmt in stmts:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                meth = call_method_name(node)
+                if meth in TAGGED_METHODS or is_collective_call(node):
+                    return True
+                if model.resolve_call(node) is not None:
+                    return True
+    return False
+
+
+class _Interp:
+    def __init__(self, model: ModuleModel, rank: int, size: int,
+                 tainted: "set[str] | None" = None) -> None:
+        self.model = model
+        self.rank = rank
+        self.size = size
+        self.ops: list[Op] = []
+        self.tainted = tainted or set()
+        self._rank_branch_depth = 0
+
+    def run(self, fn, comm_names: set, args_env: dict, depth: int = 0) -> None:
+        env = dict(args_env)
+        env["rank"] = self.rank
+        env["size"] = self.size
+        env["__comms__"] = frozenset(comm_names)
+        try:
+            self._stmts(fn.body, env, depth)
+        except _Return:
+            pass
+
+    def _expr_rank_dep(self, expr: "ast.expr | None") -> bool:
+        if expr is None:
+            return False
+        from .astutil import expr_references_rank
+
+        return expr_references_rank(expr, self.tainted)
+
+    def _emit(self, op: Op) -> None:
+        self.ops.append(op)
+        if len(self.ops) > _MAX_OPS:
+            raise _Bail
+
+    def _stmts(self, stmts: list[ast.stmt], env: dict, depth: int) -> None:
+        for stmt in stmts:
+            self._stmt(stmt, env, depth)
+
+    def _stmt(self, stmt: ast.stmt, env: dict, depth: int) -> None:
+        model = self.model
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef, ast.Import, ast.ImportFrom,
+                             ast.Pass, ast.Global, ast.Nonlocal)):
+            return
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._expr(stmt.value, env, depth)
+            raise _Return
+        if isinstance(stmt, ast.Raise):
+            raise _Bail  # divergent abort paths are not deadlock material
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            raise _Bail  # loop shapes with early exit: give up, stay sound
+        if isinstance(stmt, ast.If):
+            try:
+                taken = _eval_bool(stmt.test, env)
+            except _Bail:
+                # data-dependent branch: only safe if neither side talks
+                if _contains_comm_calls(stmt.body, model) \
+                        or _contains_comm_calls(stmt.orelse, model):
+                    raise
+                return
+            rank_dep = self._expr_rank_dep(stmt.test)
+            if rank_dep:
+                self._rank_branch_depth += 1
+            try:
+                self._stmts(stmt.body if taken else stmt.orelse, env, depth)
+            finally:
+                if rank_dep:
+                    self._rank_branch_depth -= 1
+            return
+        if isinstance(stmt, ast.For):
+            self._for(stmt, env, depth)
+            return
+        if isinstance(stmt, ast.While):
+            if _contains_comm_calls(stmt.body, model):
+                raise _Bail
+            self._invalidate(stmt, env)
+            return
+        if isinstance(stmt, ast.Try):
+            if any(_contains_comm_calls(h.body, model) for h in stmt.handlers):
+                raise _Bail
+            self._stmts(stmt.body, env, depth)
+            self._stmts(stmt.orelse, env, depth)
+            self._stmts(stmt.finalbody, env, depth)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._expr(item.context_expr, env, depth)
+            self._stmts(stmt.body, env, depth)
+            return
+        if isinstance(stmt, ast.Assign):
+            self._expr(stmt.value, env, depth)
+            value: "int | None"
+            try:
+                value = _eval_int(stmt.value, env)
+            except _Bail:
+                value = None
+            for tgt in stmt.targets:
+                if isinstance(tgt, ast.Name):
+                    if value is not None:
+                        env[tgt.id] = value
+                    else:
+                        env.pop(tgt.id, None)
+                else:
+                    for sub in ast.walk(tgt):
+                        if isinstance(sub, ast.Name):
+                            env.pop(sub.id, None)
+            return
+        if isinstance(stmt, ast.AugAssign):
+            self._expr(stmt.value, env, depth)
+            if isinstance(stmt.target, ast.Name):
+                try:
+                    cur = env[stmt.target.id]
+                    binop = ast.BinOp(left=ast.Constant(cur), op=stmt.op,
+                                      right=stmt.value)
+                    env[stmt.target.id] = _eval_int(binop, env)
+                except (KeyError, _Bail):
+                    env.pop(stmt.target.id, None)
+            return
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._expr(stmt.value, env, depth)
+            return
+        if isinstance(stmt, (ast.Expr, ast.Assert, ast.Delete)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._expr(child, env, depth)
+            return
+        # anything exotic around communication: refuse to guess
+        if _contains_comm_calls([stmt], self.model):
+            raise _Bail
+
+    def _for(self, stmt: ast.For, env: dict, depth: int) -> None:
+        talks = _contains_comm_calls(stmt.body, self.model)
+        it = stmt.iter
+        is_range = (isinstance(it, ast.Call) and isinstance(it.func, ast.Name)
+                    and it.func.id == "range" and not it.keywords
+                    and 1 <= len(it.args) <= 3)
+        if not is_range:
+            if talks:
+                raise _Bail
+            self._invalidate(stmt, env)
+            return
+        try:
+            values = list(range(*[_eval_int(a, env) for a in it.args]))
+        except _Bail:
+            if talks:
+                raise
+            self._invalidate(stmt, env)
+            return
+        if len(values) > _MAX_ITER:
+            if talks:
+                raise _Bail
+            self._invalidate(stmt, env)
+            return
+        rank_dep = self._expr_rank_dep(it)
+        if rank_dep:
+            self._rank_branch_depth += 1
+        try:
+            target = stmt.target if isinstance(stmt.target, ast.Name) else None
+            for v in values:
+                if target is not None:
+                    env[target.id] = v
+                self._stmts(stmt.body, env, depth)
+            self._stmts(stmt.orelse, env, depth)
+        finally:
+            if rank_dep:
+                self._rank_branch_depth -= 1
+
+    def _invalidate(self, stmt: ast.stmt, env: dict) -> None:
+        """Drop env bindings a skipped statement might have changed."""
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for tgt in targets:
+                    for sub in ast.walk(tgt):
+                        if isinstance(sub, ast.Name):
+                            env.pop(sub.id, None)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                for sub in ast.walk(node.target):
+                    if isinstance(sub, ast.Name):
+                        env.pop(sub.id, None)
+
+    # -- calls ----------------------------------------------------------
+
+    def _expr(self, expr: ast.expr, env: dict, depth: int) -> None:
+        if isinstance(expr, (ast.Lambda,)):
+            return
+        if isinstance(expr, ast.Call):
+            for child in ast.iter_child_nodes(expr):
+                if isinstance(child, ast.expr) and child is not expr.func:
+                    self._expr(child, env, depth)
+            if isinstance(expr.func, ast.Attribute):
+                self._expr(expr.func.value, env, depth)
+            self._call(expr, env, depth)
+            return
+        if isinstance(expr, (ast.BoolOp, ast.IfExp)):
+            # short-circuit evaluation order is data-dependent; refuse if
+            # any arm communicates
+            for child in ast.walk(expr):
+                if isinstance(child, ast.Call) and (
+                        call_method_name(child) in _P2P_METHODS
+                        or self.model.resolve_call(child) is not None):
+                    raise _Bail
+            return
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                self._expr(child, env, depth)
+
+    def _call(self, call: ast.Call, env: dict, depth: int) -> None:
+        from .astutil import is_collective_call
+
+        meth = call_method_name(call)
+        recv = receiver_name(call)
+        is_comm = recv is not None and recv in env["__comms__"]
+        if meth in _P2P_METHODS:
+            if not is_comm:
+                # p2p-looking method on something that is not a communicator
+                # (e.g. socket.send): no claim to make
+                return
+            self._p2p(call, meth, env)
+            return
+        coll = is_collective_call(call)
+        if coll is not None:
+            if is_comm or recv is None:
+                self._emit(Op("coll", op=coll, node=call))
+            return
+        callee = self.model.resolve_call(call)
+        if callee is None:
+            return
+        fn = callee.node
+        if not _contains_comm_calls(fn.body, self.model):
+            return  # a pure local helper: nothing observable
+        if depth >= _MAX_DEPTH:
+            raise _Bail
+        params = [a.arg for a in fn.args.args]
+        if call.keywords or len(call.args) > len(params):
+            raise _Bail
+        callee_comms = set()
+        callee_env: dict = {}
+        for param, arg in zip(params, call.args):
+            if isinstance(arg, ast.Name) and arg.id in env["__comms__"]:
+                callee_comms.add(param)
+                continue
+            try:
+                callee_env[param] = _eval_int(arg, env)
+            except _Bail:
+                pass  # unevaluable arg: the param is simply unknown
+        if not callee_comms and _contains_comm_calls(fn.body, self.model):
+            raise _Bail  # helper talks on a communicator we did not pass
+        self.run(fn, callee_comms, callee_env, depth + 1)
+
+    def _p2p(self, call: ast.Call, meth: str, env: dict) -> None:
+        def arg(pos: int, name: str, default=None):
+            for kw in call.keywords:
+                if kw.arg == name:
+                    return kw.value
+            if len(call.args) > pos:
+                return call.args[pos]
+            return default
+
+        def dep(*exprs) -> bool:
+            return self._rank_branch_depth > 0 \
+                or any(self._expr_rank_dep(e) for e in exprs)
+
+        if meth == "send":
+            dest, tag = arg(0, "dest"), arg(2, "tag")
+            self._emit(Op("send", peer=_eval_int(dest, env),
+                          tag=0 if tag is None else _eval_int(tag, env),
+                          node=call, rank_dep=dep(dest, tag)))
+        elif meth in ("recv", "recv_with_status"):
+            src, tag = arg(0, "source"), arg(1, "tag")
+            self._emit(Op("recv",
+                          peer=_ANY if src is None else _eval_int(src, env),
+                          tag=_ANY if tag is None else _eval_int(tag, env),
+                          node=call, rank_dep=dep(src, tag)))
+        elif meth == "sendrecv":
+            dest, src, tag = arg(0, "dest"), arg(2, "source"), arg(3, "tag")
+            t = 0 if tag is None else _eval_int(tag, env)
+            rd = dep(dest, src, tag)
+            self._emit(Op("send", peer=_eval_int(dest, env), tag=t,
+                          node=call, rank_dep=rd))
+            self._emit(Op("recv", peer=_eval_int(src, env), tag=t,
+                          node=call, rank_dep=rd))
+        # probe is non-blocking: no op
+
+
+_P2P_METHODS = frozenset({"send", "recv", "recv_with_status", "sendrecv", "probe"})
+
+
+# --------------------------------------------------------------------------
+# the matching simulator
+
+
+@dataclass
+class _Stuck:
+    rank: int
+    op: Op
+    waits_on: "int | None"  # rank owning the earliest unexecuted matching send
+
+
+def _simulate(traces: list[list[Op]]) -> "list[_Stuck] | None":
+    """Replay per-rank op sequences; return the stuck set, or None if the
+    protocol drains completely."""
+    p = len(traces)
+    pc = [0] * p
+    posted: list[tuple[int, int, int]] = []  # (src, dst, tag) multiset
+
+    def take(dst: int, src: int, tag: int) -> bool:
+        for i, (s, d, t) in enumerate(posted):
+            if d != dst:
+                continue
+            if src not in (_ANY, s):
+                continue
+            if tag not in (_ANY, t):
+                continue
+            posted.pop(i)
+            return True
+        return False
+
+    while True:
+        progressed = False
+        # drain sends eagerly (buffered, non-blocking)
+        for r in range(p):
+            while pc[r] < len(traces[r]) and traces[r][pc[r]].kind == "send":
+                op = traces[r][pc[r]]
+                posted.append((r, op.peer, op.tag))
+                pc[r] += 1
+                progressed = True
+        # receives
+        for r in range(p):
+            if pc[r] < len(traces[r]) and traces[r][pc[r]].kind == "recv":
+                op = traces[r][pc[r]]
+                if take(r, op.peer, op.tag):
+                    pc[r] += 1
+                    progressed = True
+        # collectives: advance only when every unfinished rank sits at the
+        # same collective
+        waiting = [r for r in range(p)
+                   if pc[r] < len(traces[r]) and traces[r][pc[r]].kind == "coll"]
+        active = [r for r in range(p) if pc[r] < len(traces[r])]
+        if waiting and waiting == active:
+            names = {traces[r][pc[r]].op for r in waiting}
+            if len(names) == 1:
+                for r in waiting:
+                    pc[r] += 1
+                progressed = True
+        if all(pc[r] >= len(traces[r]) for r in range(p)):
+            return None
+        if not progressed:
+            break
+
+    stuck: list[_Stuck] = []
+    for r in range(p):
+        if pc[r] >= len(traces[r]):
+            continue
+        op = traces[r][pc[r]]
+        if op.kind != "recv":
+            continue  # blocked collectives are SPMD101's domain
+        waits_on = None
+        for s in range(p):
+            for j in range(pc[s], len(traces[s])):
+                cand = traces[s][j]
+                if cand.kind != "send":
+                    continue
+                if cand.peer != r:
+                    continue
+                if op.peer not in (_ANY, s):
+                    continue
+                if op.tag not in (_ANY, cand.tag):
+                    continue
+                waits_on = s
+                break
+            if waits_on is not None:
+                break
+        stuck.append(_Stuck(rank=r, op=op, waits_on=waits_on))
+    return stuck
+
+
+def _find_cycle(stuck: list[_Stuck]) -> "list[_Stuck] | None":
+    by_rank = {s.rank: s for s in stuck}
+    for start in stuck:
+        seen: list[int] = []
+        cur: "int | None" = start.rank
+        while cur is not None and cur in by_rank:
+            if cur in seen:
+                cycle = seen[seen.index(cur):]
+                return [by_rank[r] for r in cycle]
+            seen.append(cur)
+            cur = by_rank[cur].waits_on
+    return None
+
+
+def _describe(op: Op) -> str:
+    peer = "ANY" if op.peer == _ANY else str(op.peer)
+    tag = "ANY" if op.tag == _ANY else str(op.tag)
+    return f"recv(source={peer}, tag={tag})"
+
+
+# --------------------------------------------------------------------------
+# the rule
+
+
+def rule_deadlock(model: ModuleModel) -> list[Finding]:
+    """SPMD501 + SPMD502 over every exactly-analyzable SPMD function."""
+    findings: list[Finding] = []
+    seen_nodes: set[int] = set()
+    for info in model.functions:
+        if not info.is_spmd or not info.comm_names:
+            continue
+        for size in WORLD_SIZES:
+            try:
+                traces = []
+                for rank in range(size):
+                    interp = _Interp(model, rank, size, tainted=info.tainted)
+                    interp.run(info.node, info.comm_names, {})
+                    traces.append(interp.ops)
+            except _Bail:
+                break  # not exactly analyzable at any size: stay silent
+            if any(o.kind in ("send", "recv") and o.peer != _ANY
+                   and not 0 <= o.peer < size
+                   for t in traces for o in t):
+                continue  # a peer outside this world size: not a real run
+            sends = sum(1 for t in traces for o in t if o.kind == "send")
+            recvs = sum(1 for t in traces for o in t if o.kind == "recv")
+            if recvs == 0 or sends == 0:
+                # one-sided halves of a cross-function protocol: the
+                # matching partner lives elsewhere, no closed-world claim
+                continue
+            stuck = _simulate(traces)
+            if not stuck:
+                continue
+            if not any(s.op.rank_dep for s in stuck):
+                # nothing rank-dependent is blocked: likely a single-rank
+                # helper half of a cross-function protocol, not SPMD code
+                continue
+            cycle = _find_cycle(stuck)
+            if cycle is not None:
+                anchor = min(cycle, key=lambda s: s.rank)
+                if id(anchor.op.node) in seen_nodes:
+                    continue
+                seen_nodes.add(id(anchor.op.node))
+                chain = " -> ".join(
+                    f"rank {s.rank} [{_describe(s.op)} from rank {s.waits_on}]"
+                    for s in cycle
+                ) + f" -> rank {cycle[0].rank}"
+                findings.append(Finding(
+                    model.path, anchor.op.node.lineno, anchor.op.node.col_offset,
+                    "SPMD502",
+                    f"cyclic blocking at p={size}: {chain}; every rank's "
+                    "matching send is behind its own blocked receive "
+                    "(post the sends first, or use sendrecv)",
+                    function=info.name,
+                ))
+                break
+            orphans = [s for s in stuck if s.waits_on is None]
+            if orphans:
+                s = min(orphans, key=lambda s: s.rank)
+                if id(s.op.node) in seen_nodes:
+                    continue
+                seen_nodes.add(id(s.op.node))
+                findings.append(Finding(
+                    model.path, s.op.node.lineno, s.op.node.col_offset,
+                    "SPMD501",
+                    f"rank {s.rank} blocks in {_describe(s.op)} at p={size} "
+                    "but no rank ever sends a matching (peer, tag) message: "
+                    "the receive can never complete",
+                    function=info.name,
+                ))
+                break
+    return findings

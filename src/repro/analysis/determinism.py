@@ -1,0 +1,199 @@
+"""SPMD6xx: determinism lints.
+
+The paper's correctness story depends on *deterministic semirings*: every
+rank must derive bit-identical mate vectors from replicated computations,
+or the distributed matching silently disagrees with itself.  These rules
+flag the classic ways Python code breaks that contract:
+
+SPMD601
+    Iterating a ``set``/``frozenset`` where the iteration order escapes
+    into communication or into keyed stores (``mate[u] = v`` — last-writer
+    -wins scatter): set order is an implementation detail (hash seeding,
+    insertion history), so "identical" replicated loops can visit elements
+    in different orders on different ranks.  Iterate ``sorted(s)`` instead.
+SPMD602
+    Wall-clock reads (``time.time``, ``perf_counter``, ``datetime.now``
+    ...) inside an SPMD function: each rank reads a different clock, so any
+    value derived from it diverges.  Clocks are for observation (tracing),
+    never for algorithm state.
+SPMD603
+    Order-sensitive floating-point accumulation over an unordered
+    collection (``acc += x`` in a set-iteration loop, ``sum(set(...))``):
+    float addition does not associate, so different visit orders produce
+    different sums — exactly the hazard the runtime's deterministic fold
+    trees exist to avoid.  Accumulate over ``sorted(...)`` or use
+    ``math.fsum``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .astutil import (
+    TAGGED_METHODS,
+    call_method_name,
+    call_plain_name,
+    dotted_name,
+    is_collective_call,
+    own_nodes,
+)
+from .engine import ModuleModel
+from .report import Finding
+
+#: Dotted call names that read a wall clock.
+_WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "time.clock_gettime", "time.clock_gettime_ns",
+    "datetime.now", "datetime.utcnow", "datetime.today",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+_SET_CONSTRUCTORS = frozenset({"set", "frozenset"})
+_SET_METHODS = frozenset({
+    "union", "intersection", "difference", "symmetric_difference",
+})
+
+
+def _set_like_names(fn: ast.AST) -> set[str]:
+    """Names assigned from set-typed expressions anywhere in the function
+    (flow-insensitive, one transitive pass)."""
+    names: set[str] = set()
+    for _ in range(2):  # one extra pass for a = set(); b = a | other
+        for node in own_nodes(fn):
+            if isinstance(node, ast.Assign) and _is_set_like(node.value, names):
+                for tgt in node.targets:
+                    if isinstance(tgt, ast.Name):
+                        names.add(tgt.id)
+    return names
+
+
+def _is_set_like(expr: ast.expr, names: set[str]) -> bool:
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Name):
+        return expr.id in names
+    if isinstance(expr, ast.Call):
+        if call_plain_name(expr) in _SET_CONSTRUCTORS:
+            return True
+        meth = call_method_name(expr)
+        if meth in _SET_METHODS and isinstance(expr.func, ast.Attribute) \
+                and _is_set_like(expr.func.value, names):
+            return True
+        return False
+    if isinstance(expr, ast.BinOp) and isinstance(
+            expr.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+        return _is_set_like(expr.left, names) or _is_set_like(expr.right, names)
+    return False
+
+
+def _is_comm_call(node: ast.Call) -> bool:
+    return is_collective_call(node) is not None \
+        or call_method_name(node) in TAGGED_METHODS
+
+
+def _loop_body_nodes(stmt: ast.For):
+    for sub in stmt.body + stmt.orelse:
+        yield from own_nodes(sub)
+
+
+def rule_determinism(model: ModuleModel) -> list[Finding]:
+    findings: list[Finding] = []
+    for info in model.functions:
+        if not info.is_spmd:
+            continue
+        fn = info.node
+        set_names = _set_like_names(fn)
+
+        for node in own_nodes(fn):
+            # ---- SPMD602: wall-clock reads -------------------------------
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name in _WALL_CLOCK_CALLS:
+                    findings.append(Finding(
+                        model.path, node.lineno, node.col_offset, "SPMD602",
+                        f"wall-clock read '{name}()' in an SPMD function: "
+                        "every rank reads a different clock, so values "
+                        "derived from it diverge across ranks; clocks are "
+                        "for observation (tracing), not algorithm state",
+                        function=info.name,
+                    ))
+                # ---- SPMD603: sum(set(...)) ------------------------------
+                if call_plain_name(node) == "sum" and node.args \
+                        and _is_set_like(node.args[0], set_names):
+                    findings.append(Finding(
+                        model.path, node.lineno, node.col_offset, "SPMD603",
+                        "'sum()' over an unordered set: float addition is "
+                        "order-sensitive and set order is an implementation "
+                        "detail, so replicated sums can disagree across "
+                        "ranks; use sum(sorted(...)) or math.fsum(sorted(...))",
+                        function=info.name,
+                    ))
+                # ---- SPMD601: comprehension over a set fed to a comm call
+                if _is_comm_call(node):
+                    for arg in node.args:
+                        if isinstance(arg, (ast.ListComp, ast.GeneratorExp)):
+                            for gen in arg.generators:
+                                if _is_set_like(gen.iter, set_names):
+                                    findings.append(Finding(
+                                        model.path, arg.lineno, arg.col_offset,
+                                        "SPMD601",
+                                        "collective payload built by iterating "
+                                        "an unordered set: element order is an "
+                                        "implementation detail and may differ "
+                                        "across ranks; iterate sorted(...) "
+                                        "instead",
+                                        function=info.name,
+                                    ))
+
+            # ---- SPMD601/603: for-loops over sets ------------------------
+            if isinstance(node, ast.For) and _is_set_like(node.iter, set_names):
+                comm_anchor = None
+                store_anchor = None
+                accum_anchor = None
+                for sub in _loop_body_nodes(node):
+                    if isinstance(sub, ast.Call) and _is_comm_call(sub) \
+                            and comm_anchor is None:
+                        comm_anchor = sub
+                    if isinstance(sub, ast.Assign) and store_anchor is None:
+                        for tgt in sub.targets:
+                            if isinstance(tgt, ast.Subscript):
+                                store_anchor = tgt
+                    if isinstance(sub, ast.AugAssign) and accum_anchor is None \
+                            and isinstance(sub.op, (ast.Add, ast.Sub, ast.Mult)):
+                        accum_anchor = sub
+                if comm_anchor is not None:
+                    findings.append(Finding(
+                        model.path, comm_anchor.lineno, comm_anchor.col_offset,
+                        "SPMD601",
+                        "communication inside a loop over an unordered set "
+                        f"(loop at line {node.lineno}): visit order is an "
+                        "implementation detail, so ranks may send/enter in "
+                        "different orders; iterate sorted(...) instead",
+                        function=info.name,
+                    ))
+                if store_anchor is not None:
+                    findings.append(Finding(
+                        model.path, store_anchor.lineno, store_anchor.col_offset,
+                        "SPMD601",
+                        "keyed store inside a loop over an unordered set "
+                        f"(loop at line {node.lineno}): with duplicate keys "
+                        "the last writer wins, so the result depends on set "
+                        "order and may differ across ranks; iterate "
+                        "sorted(...) instead",
+                        function=info.name,
+                    ))
+                if accum_anchor is not None:
+                    findings.append(Finding(
+                        model.path, accum_anchor.lineno, accum_anchor.col_offset,
+                        "SPMD603",
+                        "accumulation inside a loop over an unordered set "
+                        f"(loop at line {node.lineno}): float arithmetic is "
+                        "order-sensitive, so replicated folds can disagree "
+                        "across ranks; iterate sorted(...) or use math.fsum",
+                        function=info.name,
+                    ))
+    return findings

@@ -4,6 +4,12 @@ The entry points mirror pyflakes: :func:`lint_source` for in-memory code
 (used heavily by the tests), :func:`lint_file` for one file, and
 :func:`lint_paths` for a mixed list of files and directory trees (the CLI's
 ``repro lint src examples``).
+
+Each file is parsed once into a :class:`repro.analysis.engine.ModuleModel`
+(CFGs, rank-taint sets, call graph, collective-effect summaries) that every
+rule then queries, and inline ``# repro: noqa[...]`` comments are honoured
+before findings leave this module — so every consumer (tests, CLI, CI)
+sees the same suppressed view.
 """
 
 from __future__ import annotations
@@ -13,8 +19,10 @@ import os
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from .engine import build_model
 from .report import Finding, sort_findings
-from .rules import ALL_RULES
+from .rules import all_rules
+from .suppress import apply_noqa
 
 
 def lint_source(source: str, path: str = "<string>") -> list[Finding]:
@@ -24,9 +32,11 @@ def lint_source(source: str, path: str = "<string>") -> list[Finding]:
     except SyntaxError as exc:
         return [Finding(path, exc.lineno or 1, (exc.offset or 1) - 1,
                         "SPMD000", f"syntax error: {exc.msg}")]
+    model = build_model(tree, path, source)
     findings: list[Finding] = []
-    for rule in ALL_RULES:
-        findings.extend(rule(tree, path))
+    for rule in all_rules():
+        findings.extend(rule(model))
+    findings = apply_noqa(findings, source)
     return sort_findings(list(dict.fromkeys(findings)))
 
 

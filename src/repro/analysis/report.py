@@ -22,6 +22,14 @@ RULES: dict[str, tuple[str, str]] = {
     "SPMD201": ("user tag collides with the reserved collective tag space", "error"),
     "SPMD301": ("one-sided access outside the fence epoch of its window", "warning"),
     "SPMD401": ("unseeded random source in an SPMD function", "warning"),
+    "SPMD501": ("recv blocks forever: no rank ever sends a matching message", "error"),
+    "SPMD502": ("cyclic send/recv dependency deadlocks the job", "error"),
+    "SPMD601": ("unordered set iteration order escapes into comm or keyed stores", "warning"),
+    "SPMD602": ("wall-clock read feeds SPMD algorithm state", "warning"),
+    "SPMD603": ("order-sensitive float accumulation over an unordered collection", "warning"),
+    "SPMD701": ("SPMD function writes module-level mutable state", "error"),
+    "SPMD702": ("unpicklable payload crosses a rank boundary", "error"),
+    "SPMD703": ("closure passed to the spmd() launcher cannot be pickled", "warning"),
 }
 
 

@@ -1,28 +1,36 @@
-"""The SPMD lint rules.
+"""The first four SPMD rule families, rebuilt on the dataflow engine.
 
-Every rule is a function ``rule(tree, path) -> list[Finding]`` over a parsed
-module.  The catalogue mirrors the failure classes of the paper's MCM-DIST:
+Every rule is a function ``rule(model) -> list[Finding]`` over a
+:class:`~repro.analysis.engine.ModuleModel`.  The catalogue mirrors the
+failure classes of the paper's MCM-DIST:
 
 SPMD101
-    A rank-dependent ``if`` whose branches contain *different* collective
-    sequences.  Under MPI semantics every rank of a communicator must enter
-    the same collectives in the same order; divergence deadlocks (bcast vs
-    nothing) or silently exchanges garbage (bcast vs reduce at p=2).
+    A rank-dependent branch whose sides perform *different* collective
+    sequences — including collectives reached only through module-local
+    helper calls (interprocedural effect summaries), and collectives that
+    become unreachable because one side returns/raises early
+    (path-sensitivity).  Under MPI semantics every rank must enter the same
+    collectives in the same order; divergence deadlocks or silently
+    exchanges garbage.
 SPMD102
-    A collective inside a loop whose trip count is rank-dependent
-    (``for i in range(comm.rank)``): ranks run different numbers of
-    collective rounds, which is the same divergence one level up.
+    A collective (possibly inside a helper) in a loop whose trip count is
+    rank-dependent: ranks run different numbers of collective rounds.
 SPMD201
     A constant user tag at or above the reserved collective tag base
     (1 << 30): the message would masquerade as collective traffic.
 SPMD301
-    A one-sided ``get``/``put``/``accumulate``/``fetch_and_op`` on a window
-    outside the ``fence`` epoch discipline visible in the function
-    (before the first fence, after ``free``, or with no fence at all).
+    A one-sided window access on a CFG path where the fence epoch may not
+    be open (before the first ``fence``, after ``free`` — including via
+    loop back edges — or with no fence at all).
 SPMD401
-    An unseeded random source inside an SPMD function: ranks draw
-    uncorrelated streams, so "identical" replicated computations diverge —
-    the nondeterminism hazard the paper's deterministic semirings avoid.
+    An unseeded random source inside an SPMD function.  Seeding is scoped
+    per RNG: ``random.seed`` at module scope or earlier in the function
+    excuses ``random.*``, ``np.random.seed`` excuses the NumPy global RNG,
+    and seeding one source never excuses the other (the first-generation
+    linter suppressed the whole module on *any* ``.seed()`` call).
+
+The SPMD5xx/6xx/7xx families live in :mod:`.deadlock`,
+:mod:`.determinism` and :mod:`.portability`.
 """
 
 from __future__ import annotations
@@ -35,78 +43,140 @@ from .astutil import (
     TAGGED_METHODS,
     _NP_RANDOM_SAFE,
     _RANDOM_SAFE,
+    always_terminates,
     call_method_name,
     call_plain_name,
-    collectives_in,
     const_int,
+    dotted_name,
     expr_references_rank,
-    is_spmd_function,
-    rank_tainted_names,
+    own_nodes,
     receiver_name,
-    walk_functions,
+)
+from .cfg import forward_dataflow
+from .engine import (
+    Effect,
+    ModuleModel,
+    effect_keys,
+    first_anchor,
+    flat_ops,
+    is_definite,
 )
 from .report import Finding
 
 
-def _stmts_in(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> list[ast.stmt]:
-    out: list[ast.stmt] = []
-
-    def visit(stmts: list[ast.stmt]) -> None:
-        for stmt in stmts:
-            out.append(stmt)
-            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
-                continue
-            for field in ("body", "orelse", "finalbody"):
-                sub = getattr(stmt, field, None)
-                if sub:
-                    visit(sub)
-            for handler in getattr(stmt, "handlers", []) or []:
-                visit(handler.body)
-
-    visit(fn.body)
-    return out
+# --------------------------------------------------------------- SPMD101/102
 
 
-def rule_collective_divergence(tree: ast.AST, path: str) -> list[Finding]:
+def _branch_raises(stmts: list[ast.stmt]) -> bool:
+    """Does the branch contain a top-level-ish ``raise`` (validation exits
+    that abort the whole SPMD job rather than silently diverging)?"""
+    for stmt in stmts:
+        if isinstance(stmt, ast.Raise):
+            return True
+        if isinstance(stmt, ast.If) and (
+                _branch_raises(stmt.body) or _branch_raises(stmt.orelse)):
+            return True
+    return False
+
+
+def _finding_at(model: ModuleModel, eff: Effect, fn_name: str,
+                code: str, message: str) -> Finding:
+    node = eff.node
+    if eff.via:
+        message += f" (reached through helper call {'->'.join(eff.via)})"
+    return Finding(model.path, node.lineno, node.col_offset, code, message,
+                   function=fn_name)
+
+
+def rule_collective_divergence(model: ModuleModel) -> list[Finding]:
     """SPMD101 + SPMD102: collectives under rank-divergent control flow."""
     findings: list[Finding] = []
-    for fn in walk_functions(tree):
-        if not is_spmd_function(fn):
+    for info in model.functions:
+        if not info.is_spmd:
             continue
-        tainted = rank_tainted_names(fn)
-        for stmt in _stmts_in(fn):
-            if isinstance(stmt, ast.If) and expr_references_rank(stmt.test, tainted):
-                seq_if = collectives_in(stmt.body)
-                seq_else = collectives_in(stmt.orelse)
-                ops_if = [op for op, _ in seq_if]
-                ops_else = [op for op, _ in seq_else]
-                if ops_if != ops_else:
-                    anchor = (seq_if or seq_else)[0][1]
-                    findings.append(Finding(
-                        path, anchor.lineno, anchor.col_offset, "SPMD101",
-                        "collective sequence diverges across rank-dependent "
-                        f"branches (line {stmt.lineno}): if-branch enters "
-                        f"{ops_if or ['nothing']}, else-branch enters "
-                        f"{ops_else or ['nothing']}; every rank must enter the "
-                        "same collectives in the same order",
-                        function=fn.name,
-                    ))
-            elif isinstance(stmt, (ast.While, ast.For)):
-                bound = stmt.test if isinstance(stmt, ast.While) else stmt.iter
-                if not expr_references_rank(bound, tainted):
+
+        def scan(stmts: list[ast.stmt], following) -> None:
+            for i, stmt in enumerate(stmts):
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.ClassDef)):
                     continue
-                inner = collectives_in(stmt.body)
-                if inner:
-                    op, call = inner[0]
-                    findings.append(Finding(
-                        path, call.lineno, call.col_offset, "SPMD102",
-                        f"collective '{op}' inside a loop bounded by "
-                        f"rank-dependent data (loop at line {stmt.lineno}): "
-                        "ranks may execute different numbers of collective "
-                        "rounds",
-                        function=fn.name,
-                    ))
+                rest = stmts[i + 1:]
+
+                def here_after():
+                    return model.effects_of(rest, info) + following()
+
+                if isinstance(stmt, ast.If):
+                    if expr_references_rank(stmt.test, info.tainted):
+                        _check_rank_if(stmt, here_after)
+                    scan(stmt.body, here_after)
+                    scan(stmt.orelse, here_after)
+                elif isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+                    bound = stmt.test if isinstance(stmt, ast.While) else stmt.iter
+                    if expr_references_rank(bound, info.tainted):
+                        _check_rank_loop(stmt)
+                    scan(stmt.body, here_after)
+                    scan(stmt.orelse, here_after)
+                elif isinstance(stmt, ast.Try):
+                    for sub in [stmt.body, stmt.orelse, stmt.finalbody] + [
+                            h.body for h in stmt.handlers]:
+                        scan(sub, here_after)
+                elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                    scan(stmt.body, here_after)
+                elif hasattr(ast, "Match") and isinstance(stmt, ast.Match):
+                    for case in stmt.cases:
+                        scan(case.body, here_after)
+
+        def _check_rank_if(stmt: ast.If, following) -> None:
+            seq_if = model.effects_of(stmt.body, info)
+            seq_else = model.effects_of(stmt.orelse, info)
+            # a branch that always raises aborts the whole job under the
+            # runtime's abort propagation (root-side validation is a common
+            # legitimate pattern), so it cannot *divergently block* peers
+            if _branch_raises(stmt.body) or _branch_raises(stmt.orelse):
+                return
+            term_if = always_terminates(stmt.body)
+            term_else = bool(stmt.orelse) and always_terminates(stmt.orelse)
+            if effect_keys(seq_if) == effect_keys(seq_else) and term_if == term_else:
+                return
+            # path-sensitive comparison: ranks that exit early inside the
+            # branch skip the collectives *after* the If, so compare whole
+            # continuation paths, not just the branch bodies
+            after = following() if term_if != term_else else ()
+            path_if = seq_if if term_if else seq_if + after
+            path_else = seq_else if term_else else seq_else + after
+            if effect_keys(path_if) == effect_keys(path_else):
+                return
+            if not (is_definite(path_if) and is_definite(path_else)):
+                return
+            anchor = first_anchor(path_if) or first_anchor(path_else)
+            if anchor is None:
+                return
+            findings.append(_finding_at(
+                model, anchor, info.name, "SPMD101",
+                "collective sequence diverges across rank-dependent "
+                f"branches (line {stmt.lineno}): ranks taking the if-branch "
+                f"enter {flat_ops(path_if) or ['nothing']}, ranks taking the "
+                f"else-branch enter {flat_ops(path_else) or ['nothing']}; "
+                "every rank must enter the same collectives in the same order",
+            ))
+
+        def _check_rank_loop(stmt) -> None:
+            body = model.effects_of(stmt.body, info)
+            anchor = first_anchor(body)
+            if anchor is not None:
+                findings.append(_finding_at(
+                    model, anchor, info.name, "SPMD102",
+                    f"collective '{anchor.op}' inside a loop bounded by "
+                    f"rank-dependent data (loop at line {stmt.lineno}): "
+                    "ranks may execute different numbers of collective "
+                    "rounds",
+                ))
+
+        scan(info.node.body, lambda: ())
     return findings
+
+
+# ------------------------------------------------------------------- SPMD201
 
 
 def _tag_expr(call: ast.Call, meth: str) -> ast.expr | None:
@@ -119,7 +189,7 @@ def _tag_expr(call: ast.Call, meth: str) -> ast.expr | None:
     return None
 
 
-def rule_reserved_tag(tree: ast.AST, path: str) -> list[Finding]:
+def rule_reserved_tag(model: ModuleModel) -> list[Finding]:
     """SPMD201: constant user tags in the reserved collective tag space."""
     findings: list[Finding] = []
 
@@ -133,7 +203,7 @@ def rule_reserved_tag(tree: ast.AST, path: str) -> list[Finding]:
                 value = const_int(tag_node) if tag_node is not None else None
                 if value is not None and value >= RESERVED_TAG_BASE:
                     findings.append(Finding(
-                        path, tag_node.lineno, tag_node.col_offset, "SPMD201",
+                        model.path, tag_node.lineno, tag_node.col_offset, "SPMD201",
                         f"user tag {value} in '{meth}' is >= the reserved collective "
                         f"tag base ({RESERVED_TAG_BASE}): the runtime reserves that "
                         "space for collective traffic and rejects it with CommError",
@@ -142,136 +212,251 @@ def rule_reserved_tag(tree: ast.AST, path: str) -> list[Finding]:
         for child in ast.iter_child_nodes(node):
             visit(child, function)
 
-    visit(tree, "")
+    visit(model.tree, "")
     return findings
 
 
-def rule_rma_epoch(tree: ast.AST, path: str) -> list[Finding]:
-    """SPMD301: window accesses outside the visible fence epoch."""
+# ------------------------------------------------------------------- SPMD301
+
+#: May-states of a window along a CFG path.
+_PRE, _OPEN, _FREED = "pre", "open", "freed"
+
+
+def _rma_calls_in_stmt(stmt: ast.stmt) -> list[ast.Call]:
+    """Calls in one statement, source order, nested defs excluded."""
+    calls: list[ast.Call] = []
+
+    def visit(n: ast.AST) -> None:
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef,
+                          ast.ClassDef, ast.Lambda)):
+            return
+        if isinstance(n, ast.Call):
+            calls.append(n)
+        for child in ast.iter_child_nodes(n):
+            visit(child)
+
+    visit(stmt)
+    calls.sort(key=lambda c: (c.lineno, c.col_offset))
+    return calls
+
+
+def rule_rma_epoch(model: ModuleModel) -> list[Finding]:
+    """SPMD301: window accesses on CFG paths outside a fence epoch."""
     findings: list[Finding] = []
-    for fn in walk_functions(tree):
-        windows: dict[str, ast.Call] = {}
-        fences: dict[str, int] = {}
-        frees: dict[str, int] = {}
-        accesses: dict[str, list[tuple[str, ast.Call]]] = {}
-        for node in ast.walk(fn):
-            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call) \
-                    and call_plain_name(node.value) == "Window":
-                for tgt in node.targets:
-                    if isinstance(tgt, ast.Name):
-                        windows[tgt.id] = node.value
-            elif isinstance(node, ast.Call):
-                recv = receiver_name(node)
-                meth = call_method_name(node)
-                if recv is None or meth is None:
+    for info in model.functions:
+        fn = info.node
+        windows = {
+            tgt.id
+            for node in own_nodes(fn)
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call)
+            and call_plain_name(node.value) == "Window"
+            for tgt in node.targets if isinstance(tgt, ast.Name)
+        }
+        # a name that receives a .fence() call is a window however it got
+        # here (typically a parameter) — its epoch discipline is checkable
+        windows |= {
+            receiver_name(n)
+            for n in own_nodes(fn)
+            if isinstance(n, ast.Call) and call_method_name(n) == "fence"
+            and receiver_name(n) is not None
+        }
+        if not windows:
+            continue
+        has_fence = {
+            name: any(
+                isinstance(n, ast.Call) and receiver_name(n) == name
+                and call_method_name(n) == "fence"
+                for n in own_nodes(fn)
+            )
+            for name in windows
+        }
+        cfg = info.cfg
+
+        def transfer_stmt(stmt: ast.stmt, state: dict, emit=None) -> dict:
+            for call in _rma_calls_in_stmt(stmt):
+                recv, meth = receiver_name(call), call_method_name(call)
+                if recv not in windows:
+                    if isinstance(stmt, ast.Assign) and call is stmt.value \
+                            and call_plain_name(call) == "Window":
+                        for tgt in stmt.targets:
+                            if isinstance(tgt, ast.Name) and tgt.id in windows:
+                                state = {**state, tgt.id: frozenset({_PRE})}
                     continue
+                cur = state.get(recv, frozenset({_PRE}))
                 if meth == "fence":
-                    fences[recv] = min(fences.get(recv, node.lineno), node.lineno)
+                    nxt = frozenset({_OPEN} | ({_FREED} if _FREED in cur else set()))
+                    state = {**state, recv: nxt}
                 elif meth == "free":
-                    frees[recv] = min(frees.get(recv, node.lineno), node.lineno)
-                elif meth in RMA_ACCESS_METHODS:
-                    accesses.setdefault(recv, []).append((meth, node))
-        for name in windows:
-            for meth, call in accesses.get(name, []):
-                if name not in fences:
-                    findings.append(Finding(
-                        path, call.lineno, call.col_offset, "SPMD301",
-                        f"'{name}.{meth}' without any '{name}.fence()' in this "
-                        "function: one-sided accesses need a documented epoch "
-                        "(fence ... access ... fence)",
-                        function=fn.name,
-                    ))
-                elif call.lineno < fences[name]:
-                    findings.append(Finding(
-                        path, call.lineno, call.col_offset, "SPMD301",
-                        f"'{name}.{meth}' before the first '{name}.fence()' "
-                        f"(line {fences[name]}): the access epoch is not open "
-                        "yet",
-                        function=fn.name,
-                    ))
-                elif name in frees and call.lineno > frees[name]:
-                    findings.append(Finding(
-                        path, call.lineno, call.col_offset, "SPMD301",
-                        f"'{name}.{meth}' after '{name}.free()' "
-                        f"(line {frees[name]}): the window no longer exists",
-                        function=fn.name,
-                    ))
+                    state = {**state, recv: frozenset({_FREED})}
+                elif meth in RMA_ACCESS_METHODS and emit is not None:
+                    if _FREED in cur:
+                        emit(call, recv, meth,
+                             f"'{recv}.{meth}' may execute after "
+                             f"'{recv}.free()': the window no longer exists")
+                    elif _PRE in cur:
+                        if has_fence[recv]:
+                            emit(call, recv, meth,
+                                 f"'{recv}.{meth}' is reachable before the "
+                                 f"first '{recv}.fence()': the access epoch "
+                                 "is not open yet")
+                        else:
+                            emit(call, recv, meth,
+                                 f"'{recv}.{meth}' without any "
+                                 f"'{recv}.fence()' in this function: "
+                                 "one-sided accesses need a documented "
+                                 "epoch (fence ... access ... fence)")
+                # a Window(...) call assigned to a tracked name resets it
+                if isinstance(stmt, ast.Assign) and call is stmt.value \
+                        and call_plain_name(call) == "Window":
+                    for tgt in stmt.targets:
+                        if isinstance(tgt, ast.Name) and tgt.id in windows:
+                            state = {**state, tgt.id: frozenset({_PRE})}
+            return state
+
+        def transfer(block, state: dict) -> dict:
+            for stmt in block.stmts:
+                state = transfer_stmt(stmt, state)
+            return state
+
+        def join(a: dict, b: dict) -> dict:
+            out = dict(a)
+            for k, v in b.items():
+                out[k] = out.get(k, frozenset()) | v
+            return out
+
+        init = {name: frozenset({_PRE}) for name in windows}
+        in_states = forward_dataflow(cfg, init, transfer, join, lambda a, b: a == b)
+
+        reported: set[int] = set()
+
+        def emit(call: ast.Call, recv: str, meth: str, msg: str) -> None:
+            if id(call) in reported:
+                return
+            reported.add(id(call))
+            findings.append(Finding(
+                model.path, call.lineno, call.col_offset, "SPMD301", msg,
+                function=info.name,
+            ))
+
+        for block in cfg.blocks:
+            if block.id not in in_states:
+                continue  # unreachable
+            state = in_states[block.id]
+            for stmt in block.stmts:
+                state = transfer_stmt(stmt, state, emit)
     return findings
 
 
-def _module_seeds(tree: ast.AST) -> bool:
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Call) and _is_seed_call(node):
-            return True
-    return False
+# ------------------------------------------------------------------- SPMD401
 
 
 def _is_seed_call(node: ast.Call) -> bool:
-    f = node.func
-    if isinstance(f, ast.Attribute) and f.attr == "seed":
-        return True
-    return False
+    return isinstance(node.func, ast.Attribute) and node.func.attr == "seed"
 
 
-def _random_hazard(node: ast.Call) -> str | None:
-    """Name of the unseeded random source used, or None."""
+def _seed_scope(node: ast.Call) -> str | None:
+    """Which RNG a ``.seed()`` call seeds: ``"random"``, ``"np.random"``,
+    or None for a seed on some other object (an explicit Generator — its
+    uses are already safe, so it excuses nothing global)."""
+    target = dotted_name(node.func.value) if isinstance(node.func, ast.Attribute) else None
+    if target == "random":
+        return "random"
+    if target in ("np.random", "numpy.random"):
+        return "np.random"
+    return None
+
+
+def _random_hazard(node: ast.Call) -> tuple[str, str] | None:
+    """(scope, rendered name) of the unseeded random source used, or None."""
     f = node.func
-    # random.<fn>(...)
     if isinstance(f, ast.Attribute) and isinstance(f.value, ast.Name) \
             and f.value.id == "random" and f.attr not in _RANDOM_SAFE:
-        return f"random.{f.attr}"
-    # np.random.<fn>(...) / numpy.random.<fn>(...)
+        return "random", f"random.{f.attr}"
     if isinstance(f, ast.Attribute) and isinstance(f.value, ast.Attribute) \
             and f.value.attr == "random" \
             and isinstance(f.value.value, ast.Name) \
             and f.value.value.id in ("np", "numpy"):
         if f.attr not in _NP_RANDOM_SAFE:
-            return f"{f.value.value.id}.random.{f.attr}"
+            return "np.random", f"{f.value.value.id}.random.{f.attr}"
         if f.attr in ("default_rng", "RandomState") and not node.args and not node.keywords:
-            return f"{f.value.value.id}.random.{f.attr}()"
-    # bare default_rng() with no seed
+            return "", f"{f.value.value.id}.random.{f.attr}()"
     if isinstance(f, ast.Name) and f.id == "default_rng" \
             and not node.args and not node.keywords:
-        return "default_rng()"
+        return "", "default_rng()"
     return None
 
 
-def rule_unseeded_random(tree: ast.AST, path: str) -> list[Finding]:
-    """SPMD401: unseeded random sources inside SPMD functions."""
-    findings: list[Finding] = []
-    module_seeded = _module_seeds(tree)
-    if module_seeded:
-        return findings
-    for fn in walk_functions(tree):
-        if not is_spmd_function(fn):
+def _module_scope_seeds(tree: ast.Module) -> set[str]:
+    """RNG scopes seeded by module-level statements (imports-time seeding)."""
+    seeded: set[str] = set()
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
             continue
-        seed_lines = [
-            n.lineno for n in ast.walk(fn)
-            if isinstance(n, ast.Call) and _is_seed_call(n)
-        ]
-        first_seed = min(seed_lines) if seed_lines else None
-        for node in ast.walk(fn):
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call) and _is_seed_call(node):
+                scope = _seed_scope(node)
+                if scope:
+                    seeded.add(scope)
+    return seeded
+
+
+def rule_unseeded_random(model: ModuleModel) -> list[Finding]:
+    """SPMD401: unseeded random sources inside SPMD functions, with seeding
+    scoped per function and per RNG object."""
+    findings: list[Finding] = []
+    module_seeded = _module_scope_seeds(model.tree)
+    for info in model.functions:
+        if not info.is_spmd:
+            continue
+        seed_lines: dict[str, int] = {}
+        for n in own_nodes(info.node):
+            if isinstance(n, ast.Call) and _is_seed_call(n):
+                scope = _seed_scope(n)
+                if scope:
+                    seed_lines[scope] = min(seed_lines.get(scope, n.lineno), n.lineno)
+        for node in own_nodes(info.node):
             if not isinstance(node, ast.Call):
                 continue
             hazard = _random_hazard(node)
             if hazard is None:
                 continue
-            if first_seed is not None and node.lineno > first_seed:
+            scope, name = hazard
+            if scope and scope in module_seeded:
+                continue
+            if scope and scope in seed_lines and node.lineno > seed_lines[scope]:
                 continue
             findings.append(Finding(
-                path, node.lineno, node.col_offset, "SPMD401",
-                f"unseeded '{hazard}' in an SPMD function: each rank draws "
+                model.path, node.lineno, node.col_offset, "SPMD401",
+                f"unseeded '{name}' in an SPMD function: each rank draws "
                 "an independent stream, so replicated computations diverge; "
                 "seed explicitly (e.g. np.random.default_rng(seed))",
-                function=fn.name,
+                function=info.name,
             ))
     return findings
 
 
-#: The rule registry, in report order.
-ALL_RULES = (
-    rule_collective_divergence,
-    rule_reserved_tag,
-    rule_rma_epoch,
-    rule_unseeded_random,
-)
+def _registry():
+    from .deadlock import rule_deadlock
+    from .determinism import rule_determinism
+    from .portability import rule_portability
+
+    return (
+        rule_collective_divergence,
+        rule_reserved_tag,
+        rule_rma_epoch,
+        rule_unseeded_random,
+        rule_deadlock,
+        rule_determinism,
+        rule_portability,
+    )
+
+
+#: The rule registry, in report order (filled lazily to avoid import cycles).
+ALL_RULES = ()
+
+
+def all_rules():
+    global ALL_RULES
+    if not ALL_RULES:
+        ALL_RULES = _registry()
+    return ALL_RULES

@@ -1,0 +1,87 @@
+"""SARIF 2.1.0 rendering of lint findings.
+
+SARIF (Static Analysis Results Interchange Format) is the OASIS standard
+CI systems ingest for code-scanning annotations.  The emitter targets the
+subset every consumer understands: one ``run`` with a ``tool.driver``
+carrying the rule catalogue, and one ``result`` per finding with a
+``physicalLocation`` pointing at the offending line/column.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .report import RULES, Finding, sort_findings
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def _artifact_uri(path: str) -> str:
+    return str(path).replace("\\", "/")
+
+
+def sarif_log(findings: list[Finding], tool_version: str = "0") -> dict:
+    """Build the SARIF log object (a plain dict, ready for json.dumps)."""
+    rule_ids = sorted(RULES)
+    rule_index = {code: i for i, code in enumerate(rule_ids)}
+    rules = [
+        {
+            "id": code,
+            "name": code,
+            "shortDescription": {"text": RULES[code][0]},
+            "defaultConfiguration": {
+                "level": _LEVELS.get(RULES[code][1], "warning"),
+            },
+        }
+        for code in rule_ids
+    ]
+    results = []
+    for f in sort_findings(findings):
+        result = {
+            "ruleId": f.code,
+            "level": _LEVELS.get(f.severity, "warning"),
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": _artifact_uri(f.path)},
+                    "region": {
+                        "startLine": max(f.line, 1),
+                        # SARIF columns are 1-based; Finding.col is 0-based
+                        "startColumn": f.col + 1,
+                    },
+                },
+            }],
+        }
+        if f.code in rule_index:
+            result["ruleIndex"] = rule_index[f.code]
+        if f.function:
+            result["locations"][0]["logicalLocations"] = [{
+                "name": f.function,
+                "kind": "function",
+            }]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "informationUri":
+                        "https://github.com/paper-repro/mcm-dist",
+                    "version": tool_version,
+                    "rules": rules,
+                },
+            },
+            "results": results,
+            "columnKind": "utf16CodeUnits",
+        }],
+    }
+
+
+def format_sarif(findings: list[Finding], tool_version: str = "0") -> str:
+    return json.dumps(sarif_log(findings, tool_version), indent=2)

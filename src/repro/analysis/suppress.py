@@ -1,0 +1,136 @@
+"""Finding suppression: inline ``noqa`` comments and baseline files.
+
+Two mechanisms make the linter *self-hosting* (``repro lint src/`` must
+exit 0 in CI even though the runtime intentionally does rank-dependent
+things the rules exist to flag):
+
+* ``# repro: noqa`` / ``# repro: noqa[SPMD101,SPMD401]`` comments suppress
+  findings on their line — bare form suppresses everything, the bracketed
+  form only the listed codes.  Comments are found with :mod:`tokenize`, so
+  strings containing the magic text do not suppress anything.
+* A committed **baseline file** (JSON) lists known findings to tolerate,
+  each with a human justification.  Baseline entries match on (path
+  suffix, code, function) rather than line numbers, so unrelated edits do
+  not invalidate the baseline.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import re
+import tokenize
+from pathlib import Path, PurePosixPath
+
+from .report import Finding
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z0-9,\s]+)\])?", re.IGNORECASE)
+
+
+def noqa_map(source: str) -> dict[int, frozenset[str] | None]:
+    """Map line number -> suppressed codes (``None`` = all codes).
+
+    Tolerates tokenize errors (the parser already reported SPMD000) by
+    returning whatever was collected up to the failure point.
+    """
+    out: dict[int, frozenset[str] | None] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            m = _NOQA_RE.search(tok.string)
+            if not m:
+                continue
+            codes = m.group("codes")
+            if codes is None:
+                out[tok.start[0]] = None
+            else:
+                parsed = frozenset(
+                    c.strip().upper() for c in codes.split(",") if c.strip())
+                prev = out.get(tok.start[0], frozenset())
+                out[tok.start[0]] = None if prev is None else prev | parsed
+    except (tokenize.TokenizeError, IndentationError, SyntaxError, ValueError):
+        pass
+    return out
+
+
+def apply_noqa(findings: list[Finding], source: str) -> list[Finding]:
+    """Drop findings suppressed by a noqa comment on their line."""
+    if "noqa" not in source:
+        return findings
+    suppressed = noqa_map(source)
+    if not suppressed:
+        return findings
+    out = []
+    for f in findings:
+        codes = suppressed.get(f.line, frozenset())
+        if codes is None or f.code in codes:
+            continue
+        out.append(f)
+    return out
+
+
+# --------------------------------------------------------------------------
+# baseline files
+
+
+class Baseline:
+    """A set of tolerated findings, matched by (path suffix, code, function)."""
+
+    def __init__(self, entries: list[dict]) -> None:
+        self.entries = entries
+        self._index: set[tuple[str, str, str]] = {
+            (str(PurePosixPath(e["path"])), e["code"], e.get("function", ""))
+            for e in entries
+        }
+
+    def matches(self, f: Finding) -> bool:
+        fpath = PurePosixPath(str(f.path).replace("\\", "/"))
+        for path, code, function in self._index:
+            if code != f.code or function != f.function:
+                continue
+            base = PurePosixPath(path)
+            if fpath == base or str(fpath).endswith("/" + str(base)):
+                return True
+        return False
+
+    def filter(self, findings: list[Finding]) -> list[Finding]:
+        return [f for f in findings if not self.matches(f)]
+
+
+def load_baseline(path: str | Path) -> Baseline:
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    entries = data["findings"] if isinstance(data, dict) else data
+    if not isinstance(entries, list):
+        raise ValueError(f"baseline {path}: expected a list of findings")
+    for e in entries:
+        if not isinstance(e, dict) or "path" not in e or "code" not in e:
+            raise ValueError(
+                f"baseline {path}: each entry needs at least 'path' and 'code'")
+    return Baseline(entries)
+
+
+def write_baseline(path: str | Path, findings: list[Finding],
+                   root: str | Path | None = None) -> None:
+    """Serialize ``findings`` as a fresh baseline (justifications TODO'd)."""
+    entries = []
+    for f in findings:
+        fpath = str(f.path).replace("\\", "/")
+        if root is not None:
+            try:
+                fpath = str(Path(f.path).resolve().relative_to(
+                    Path(root).resolve())).replace("\\", "/")
+            except ValueError:
+                pass
+        entries.append({
+            "path": fpath,
+            "code": f.code,
+            "function": f.function,
+            "justification": "TODO: explain why this finding is tolerated",
+        })
+    payload = {"comment": "known findings tolerated by `repro lint --baseline`;"
+                          " matched by (path, code, function), not line",
+               "findings": entries}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

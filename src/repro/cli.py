@@ -213,7 +213,10 @@ def cmd_trace_report(args) -> int:
 def cmd_lint(args) -> int:
     from .analysis import run_lint
 
-    return run_lint(args.paths, exclude=args.exclude, fmt=args.format)
+    return run_lint(args.paths, exclude=args.exclude, fmt=args.format,
+                    baseline=args.baseline,
+                    write_baseline_to=args.write_baseline,
+                    output=args.output)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -298,7 +301,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("paths", nargs="+", help=".py files or directory trees")
     p.add_argument("--exclude", action="append", default=[], metavar="PATH",
                    help="file or directory to skip (repeatable)")
-    p.add_argument("--format", default="text", choices=["text", "json"])
+    p.add_argument("--format", default="text", choices=["text", "json", "sarif"])
+    p.add_argument("--baseline", metavar="FILE",
+                   help="JSON baseline of tolerated findings "
+                        "(matched by path/code/function, not line)")
+    p.add_argument("--write-baseline", metavar="FILE", dest="write_baseline",
+                   help="record the current findings as a new baseline and exit 0")
+    p.add_argument("--output", metavar="FILE",
+                   help="write the report to FILE instead of stdout")
     p.set_defaults(fn=cmd_lint)
     return parser
 

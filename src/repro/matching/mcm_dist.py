@@ -637,6 +637,16 @@ def merge_by_alg(rank_values) -> dict[str, dict[str, int]]:
     return merged
 
 
+def _mcm_rank_main(comm: Communicator, coo: COO, pr: int, pc: int, **mcm_kwargs):
+    """Per-rank entry point of :func:`run_mcm_dist`.
+
+    A module-level function (not a closure) so a process backend can pickle
+    it; the graph and grid shape arrive through ``spmd``'s ``*args``.
+    """
+    data = coo if comm.rank == 0 else None
+    return mcm_dist_spmd(comm, data, pr, pc, **mcm_kwargs)
+
+
 def run_mcm_dist(
     coo: COO,
     pr: int,
@@ -676,18 +686,12 @@ def run_mcm_dist(
     """
     from ..runtime.executor import resolve_timeout
 
-    def main(comm: Communicator):
-        data = coo if comm.rank == 0 else None
-        return mcm_dist_spmd(
-            comm, data, pr, pc,
-            init=init, semiring=semiring, prune=prune, augment=augment,
-            direction=direction,
-        )
-
     result = spmd(
-        pr * pc, main,
+        pr * pc, _mcm_rank_main, coo, pr, pc,
         timeout=resolve_timeout(timeout, default=120.0),
         verify=verify, faults=faults, comm_config=comm_config, trace=trace,
+        init=init, semiring=semiring, prune=prune, augment=augment,
+        direction=direction,
     )
     mate_r, mate_c, stats = result[0]
     stats.comm_by_alg = merge_by_alg(result.values)

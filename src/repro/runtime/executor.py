@@ -305,6 +305,18 @@ RECOVERABLE_ERRORS = (
 )
 
 
+def _resilient_rank_main(comm, coo, pr: int, pc: int, **mcm_kwargs):
+    """Per-rank entry point of :func:`run_mcm_dist_resilient`.
+
+    Module-level (not a closure over the restart loop) so a process backend
+    can pickle it; the checkpoint store and resume point arrive as kwargs.
+    """
+    from ..matching.mcm_dist import mcm_dist_spmd  # local: avoid import cycle
+
+    data = coo if comm.rank == 0 else None
+    return mcm_dist_spmd(comm, data, pr, pc, **mcm_kwargs)
+
+
 def run_mcm_dist_resilient(
     coo,
     pr: int,
@@ -346,8 +358,6 @@ def run_mcm_dist_resilient(
     is concatenated into one :class:`~repro.runtime.trace.DistTrace` with
     an explicit ``restart`` span at each seam, attached as ``stats.trace``.
     """
-    from ..matching.mcm_dist import mcm_dist_spmd  # local: avoid import cycle
-
     store = checkpoint_store if checkpoint_store is not None else CheckpointStore()
     disarmed: set = set()
     restarts = 0
@@ -371,20 +381,15 @@ def run_mcm_dist_resilient(
         )
         resume = store.latest()
 
-        def main(comm, resume=resume):
-            data = coo if comm.rank == 0 else None
-            return mcm_dist_spmd(
-                comm, data, pr, pc,
+        try:
+            result = spmd(
+                pr * pc, _resilient_rank_main, coo, pr, pc,
+                timeout=timeout, verify=verify, faults=injector,
+                comm_config=comm_config, trace=trace,
                 checkpoint_every=checkpoint_every,
                 checkpoint_store=store,
                 resume=resume,
                 **mcm_kwargs,
-            )
-
-        try:
-            result = spmd(
-                pr * pc, main, timeout=timeout, verify=verify, faults=injector,
-                comm_config=comm_config, trace=trace,
             )
             merge_attempt(result.trace)
             break

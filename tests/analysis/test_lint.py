@@ -204,16 +204,40 @@ def test_syntax_error_becomes_spmd000_finding():
     assert codes(fs) == ["SPMD000"]
 
 
-def test_fixture_reports_exactly_the_three_seeded_bugs():
+#: (code, function) of every seeded bug in the fixture file, in report
+#: (line) order.  One fixture per rule; SPMD101 has two (direct + via
+#: helper).  Kept in sync with the table in the fixture's docstring.
+FIXTURE_BUGS = [
+    ("SPMD101", "divergent_reduction"),
+    ("SPMD201", "reserved_tag_exchange"),
+    ("SPMD401", "unseeded_shuffle"),
+    ("SPMD101", "divergent_via_helper"),
+    ("SPMD102", "rank_bounded_barriers"),
+    ("SPMD301", "fenceless_put"),
+    ("SPMD501", "lonely_recv"),
+    ("SPMD502", "ring_recv_before_send"),
+    ("SPMD601", "set_ordered_mates"),
+    ("SPMD602", "clock_seeded_mates"),
+    ("SPMD603", "set_ordered_sum"),
+    ("SPMD701", "global_mate_cache"),
+    ("SPMD702", "lambda_payload"),
+    ("SPMD703", "closure_launcher"),
+]
+
+
+def test_fixture_reports_exactly_the_seeded_bugs():
     fs = lint_file(FIXTURE)
-    assert codes(fs) == ["SPMD101", "SPMD201", "SPMD401"]
-    by_code = {f.code: f for f in fs}
-    assert by_code["SPMD101"].function == "divergent_reduction"
-    assert by_code["SPMD201"].function == "reserved_tag_exchange"
-    assert by_code["SPMD401"].function == "unseeded_shuffle"
+    assert [(f.code, f.function) for f in fs] == FIXTURE_BUGS
     for f in fs:
         assert f.path.endswith("buggy_spmd.py")
         assert f.line > 0 and f.col >= 0
+
+
+def test_every_rule_has_a_fixture():
+    from repro.analysis import RULES
+
+    covered = {code for code, _ in FIXTURE_BUGS}
+    assert covered == set(RULES) - {"SPMD000"}
 
 
 def test_source_tree_is_clean():
@@ -224,7 +248,7 @@ def test_lint_paths_exclude_and_missing_target():
     examples = str(REPO_ROOT / "examples")
     with_bugs = lint_paths([examples])
     without = lint_paths([examples], exclude=[str(FIXTURE)])
-    assert len(with_bugs) == 3
+    assert len(with_bugs) == len(FIXTURE_BUGS)
     assert without == []
     with pytest.raises(FileNotFoundError):
         lint_paths([str(REPO_ROOT / "no_such_dir")])
@@ -238,7 +262,7 @@ def test_format_text_lists_location_code_and_summary():
     text = format_text(fs)
     for f in fs:
         assert f"{f.line}:" in text and f.code in text
-    assert "3 finding(s)" in text
+    assert f"{len(FIXTURE_BUGS)} finding(s)" in text
 
 
 def test_format_text_clean():
@@ -280,7 +304,7 @@ def test_cli_lint_json_format(capsys):
 
     assert main(["lint", str(FIXTURE), "--format", "json"]) == 1
     payload = json.loads(capsys.readouterr().out)
-    assert len(payload) == 3
+    assert len(payload) == len(FIXTURE_BUGS)
 
 
 def test_cli_lint_missing_path_is_usage_error(capsys):

@@ -1,0 +1,189 @@
+"""SARIF 2.1.0 output: structural validation and schema conformance.
+
+The full OASIS schema cannot be fetched in CI, so conformance is checked
+against an embedded subset schema covering every construct the emitter
+produces (the properties GitHub code scanning actually requires), plus
+hand-written structural assertions for the parts a subset schema cannot
+pin (rule-index consistency, location correctness).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import RULES, lint_file, sarif_log
+from repro.analysis.sarif import SARIF_SCHEMA, format_sarif
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURE = REPO_ROOT / "examples" / "buggy_spmd.py"
+
+#: Subset of the SARIF 2.1.0 schema: required top-level shape, runs,
+#: tool.driver with rules, and results with physical locations.  Field
+#: names and requiredness mirror the OASIS schema.
+SARIF_SUBSET_SCHEMA = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "$schema": {"type": "string"},
+        "version": {"const": "2.1.0"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool", "results"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                            "properties": {
+                                                "id": {"type": "string"},
+                                                "shortDescription": {
+                                                    "type": "object",
+                                                    "required": ["text"],
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["message"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "ruleIndex": {"type": "integer", "minimum": 0},
+                                "level": {
+                                    "enum": ["none", "note", "warning", "error"],
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                    "properties": {"text": {"type": "string"}},
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "properties": {
+                                                    "artifactLocation": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "uri": {"type": "string"},
+                                                        },
+                                                    },
+                                                    "region": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                            "startColumn": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                        },
+                                                    },
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+def fixture_log():
+    return sarif_log(lint_file(FIXTURE))
+
+
+def test_sarif_validates_against_subset_schema():
+    jsonschema = pytest.importorskip("jsonschema")
+    jsonschema.validate(fixture_log(), SARIF_SUBSET_SCHEMA)
+
+
+def test_sarif_header_names_the_official_schema():
+    log = fixture_log()
+    assert log["version"] == "2.1.0"
+    assert log["$schema"] == SARIF_SCHEMA
+    assert "sarif-schema-2.1.0" in log["$schema"]
+
+
+def test_sarif_rules_catalogue_is_complete_and_indexed():
+    log = fixture_log()
+    driver = log["runs"][0]["tool"]["driver"]
+    ids = [r["id"] for r in driver["rules"]]
+    assert ids == sorted(RULES)
+    for result in log["runs"][0]["results"]:
+        idx = result["ruleIndex"]
+        assert driver["rules"][idx]["id"] == result["ruleId"]
+
+
+def test_sarif_results_point_at_the_fixture():
+    log = fixture_log()
+    results = log["runs"][0]["results"]
+    assert results, "fixture must produce findings"
+    for result in results:
+        loc = result["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"].endswith("buggy_spmd.py")
+        assert loc["region"]["startLine"] >= 1
+        assert loc["region"]["startColumn"] >= 1
+        assert result["level"] in ("error", "warning")
+
+
+def test_sarif_levels_follow_rule_severity():
+    log = fixture_log()
+    for result in log["runs"][0]["results"]:
+        assert result["level"] == RULES[result["ruleId"]][1]
+
+
+def test_empty_findings_still_valid_sarif():
+    jsonschema = pytest.importorskip("jsonschema")
+    log = sarif_log([])
+    jsonschema.validate(log, SARIF_SUBSET_SCHEMA)
+    assert log["runs"][0]["results"] == []
+
+
+def test_format_sarif_is_deterministic_json():
+    a = format_sarif(lint_file(FIXTURE))
+    b = format_sarif(lint_file(FIXTURE))
+    assert a == b
+    json.loads(a)  # must be valid JSON text
+
+
+def test_cli_writes_sarif_artifact(tmp_path, capsys):
+    from repro.cli import main
+
+    out = tmp_path / "lint.sarif"
+    code = main(["lint", str(FIXTURE), "--format", "sarif",
+                 "--output", str(out)])
+    assert code == 1  # findings present even though report went to a file
+    log = json.loads(out.read_text())
+    assert log["version"] == "2.1.0"
+    assert len(log["runs"][0]["results"]) > 0
