@@ -138,6 +138,7 @@ def cmd_spmd(args) -> int:
             timeout=args.timeout,
             verify=args.verify,
             trace=trace,
+            backend=args.backend,
         )
         print(f"chaos seed {args.chaos}, plan [{plan.describe()}]: "
               f"{stats.restarts} restart(s), {stats.phases_replayed} phase(s) "
@@ -150,6 +151,7 @@ def cmd_spmd(args) -> int:
             timeout=args.timeout,
             verify=args.verify,
             trace=trace,
+            backend=args.backend,
         )
     card = int((mate_r != -1).sum())
     print(f"grid {args.pr}x{args.pc}: matched {card:,} "
@@ -258,6 +260,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--pc", type=int, default=2)
     p.add_argument("--init", default="greedy", choices=["greedy", "mindegree", "none"])
     p.add_argument("--direction", default="topdown", choices=["topdown", "bottomup", "auto"])
+    p.add_argument("--backend", default=None, choices=["thread", "process"],
+                   help="transport: 'thread' simulates ranks as threads in "
+                        "one interpreter (default), 'process' forks one OS "
+                        "process per rank with shared-memory rings "
+                        "(default: $REPRO_SPMD_BACKEND or thread)")
     p.add_argument("--verify", action="store_true",
                    help="arm the dynamic verifiers: cross-check every collective "
                         "entry across ranks and race-check every RMA access")

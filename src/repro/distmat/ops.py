@@ -203,13 +203,12 @@ def spmv_bottomup(
                 unvisited = np.concatenate(upieces) - A.row_lo
 
         # -- pull through the cached CSR mirror, filter by frontier membership
+        # (one fused kernel — repro.kernels compiles it when numba is there)
         with tspan(grid.comm, "pull"):
-            cand_rows, cand_cols = A.block.explode_rows(unvisited)
-            croots = root_of[cand_cols]
-            hit = croots != NULL
-            grows = cand_rows[hit] + A.row_lo
-            parents = cand_cols[hit] + A.col_lo
-        return _fold_and_reduce(A, grows, parents, croots[hit], semiring, rng)
+            lrows, lcols, croots = A.block.pull_rows(unvisited, root_of, NULL)
+            grows = lrows + A.row_lo
+            parents = lcols + A.col_lo
+        return _fold_and_reduce(A, grows, parents, croots, semiring, rng)
 
 
 def direction_edge_counts(

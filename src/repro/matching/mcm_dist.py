@@ -662,6 +662,7 @@ def run_mcm_dist(
     faults=None,
     comm_config=None,
     trace: "bool | str" = False,
+    backend: "str | None" = None,
 ) -> tuple[np.ndarray, np.ndarray, DistStats]:
     """Launch MCM-DIST on a simulated pr × pc process grid.
 
@@ -683,6 +684,9 @@ def run_mcm_dist(
     ``"ticks"`` for the deterministic clock); the merged
     :class:`~repro.runtime.trace.DistTrace` lands on ``stats.trace`` —
     tracing never changes results (the tracer only observes).
+    ``backend`` selects the transport ("thread"/"process" — forked OS
+    processes over shared-memory rings; bit-identical mates either way);
+    ``None`` resolves through ``$REPRO_SPMD_BACKEND``.
     """
     from ..runtime.executor import resolve_timeout
 
@@ -690,6 +694,7 @@ def run_mcm_dist(
         pr * pc, _mcm_rank_main, coo, pr, pc,
         timeout=resolve_timeout(timeout, default=120.0),
         verify=verify, faults=faults, comm_config=comm_config, trace=trace,
+        backend=backend,
         init=init, semiring=semiring, prune=prune, augment=augment,
         direction=direction,
     )

@@ -61,14 +61,17 @@ from .checkpoint import Checkpoint, CheckpointStore, FileCheckpointStore
 from .executor import (
     RECOVERABLE_ERRORS,
     SpmdResult,
+    resolve_backend,
     resolve_timeout,
     run_mcm_dist_resilient,
     spmd,
 )
+from .transport import BACKENDS, SpmdJob, Transport, get_transport
 
 __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
+    "BACKENDS",
     "BAND",
     "BOR",
     "Checkpoint",
@@ -102,15 +105,19 @@ __all__ = [
     "RmaRaceError",
     "SUM",
     "Span",
+    "SpmdJob",
     "SpmdResult",
     "TraceError",
     "Tracer",
     "TransientCommError",
+    "Transport",
     "Window",
     "WindowError",
+    "get_transport",
     "make_trace_clock",
     "pack_arrays",
     "pack_indices",
+    "resolve_backend",
     "resolve_timeout",
     "run_mcm_dist_resilient",
     "spmd",

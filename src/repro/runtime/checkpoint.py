@@ -17,6 +17,9 @@ phase, crash-safe via write-to-temp-then-rename).
 
 from __future__ import annotations
 
+import contextlib
+import fcntl
+import json
 import os
 import threading
 from dataclasses import dataclass, field
@@ -76,11 +79,23 @@ class CheckpointStore:
 class FileCheckpointStore(CheckpointStore):
     """On-disk variant: one ``ck_phase{N}.npz`` per checkpointed phase.
 
-    Files are written to a temp name and atomically renamed so a crash
-    mid-save never leaves a truncated latest checkpoint.  ``latest()``
-    re-scans the directory, so a fresh process can resume a job an earlier
-    process checkpointed.
+    Safe under *concurrent multi-process writers* — the process backend
+    forks one writer per rank, and a resilient driver may overlap a
+    restarted incarnation with a dying one:
+
+    * every critical section holds an ``fcntl`` flock on ``ck.lock``
+      (processes) nested inside the usual thread lock (threads);
+    * data files are written to a **pid-unique** temp name then atomically
+      renamed, so two writers racing on the same phase can interleave
+      freely — the loser's complete file simply replaces the winner's
+      complete file, never a torn mix;
+    * the ``saves`` / ``words_written`` counters live in a shared
+      ``ck_counters.json`` sidecar (updated under the flock, also via
+      temp-and-rename); :meth:`refresh_counters` folds the sidecar back
+      into the instance attributes the stats layer reads.
     """
+
+    _COUNTERS = "ck_counters.json"
 
     def __init__(self, directory: str) -> None:
         super().__init__()
@@ -90,22 +105,60 @@ class FileCheckpointStore(CheckpointStore):
     def _path(self, phase: int) -> str:
         return os.path.join(self.directory, f"ck_phase{phase:06d}.npz")
 
-    def save(self, ck: Checkpoint) -> None:
+    @contextlib.contextmanager
+    def _flock(self):
         with self._lock:
-            tmp = self._path(ck.phase) + ".tmp"
-            with open(tmp, "wb") as fh:
-                np.savez(
-                    fh,
-                    phase=np.int64(ck.phase),
-                    mate_row=ck.mate_row,
-                    mate_col=ck.mate_col,
-                )
+            fd = os.open(os.path.join(self.directory, "ck.lock"),
+                         os.O_CREAT | os.O_RDWR, 0o644)
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+                yield
+            finally:
+                os.close(fd)  # closing drops the flock
+
+    def _read_counters(self) -> dict:
+        try:
+            with open(os.path.join(self.directory, self._COUNTERS)) as fh:
+                return json.load(fh)
+        except (FileNotFoundError, json.JSONDecodeError):
+            return {"saves": 0, "words_written": 0}
+
+    def _bump_counters(self, words: int) -> None:
+        counters = self._read_counters()
+        counters["saves"] += 1
+        counters["words_written"] += words
+        tmp = os.path.join(
+            self.directory, f".{self._COUNTERS}.{os.getpid()}.tmp"
+        )
+        with open(tmp, "w") as fh:
+            json.dump(counters, fh)
+        os.replace(tmp, os.path.join(self.directory, self._COUNTERS))
+
+    def refresh_counters(self) -> None:
+        """Fold the shared sidecar back into this instance's counters —
+        forked rank processes bump the sidecar, not this object."""
+        with self._flock():
+            counters = self._read_counters()
+            self.saves = int(counters["saves"])
+            self.words_written = int(counters["words_written"])
+
+    def save(self, ck: Checkpoint) -> None:
+        tmp = f"{self._path(ck.phase)}.{os.getpid()}.tmp"
+        with open(tmp, "wb") as fh:
+            np.savez(
+                fh,
+                phase=np.int64(ck.phase),
+                mate_row=ck.mate_row,
+                mate_col=ck.mate_col,
+            )
+        with self._flock():
             os.replace(tmp, self._path(ck.phase))
+            self._bump_counters(ck.words)
             self.saves += 1
             self.words_written += ck.words
 
     def latest(self) -> Checkpoint | None:
-        with self._lock:
+        with self._flock():
             names = [
                 n for n in os.listdir(self.directory)
                 if n.startswith("ck_phase") and n.endswith(".npz")
@@ -120,9 +173,9 @@ class FileCheckpointStore(CheckpointStore):
                 )
 
     def clear(self) -> None:
-        with self._lock:
+        with self._flock():
             for n in os.listdir(self.directory):
-                if n.startswith("ck_phase"):
+                if n.startswith("ck_phase") or n == self._COUNTERS:
                     os.unlink(os.path.join(self.directory, n))
 
 

@@ -282,7 +282,12 @@ class Communicator:
         _check_user_tag(tag, wildcard_ok=False)
         tok = self._trace_begin("send", dest=dest, tag=tag)
         before = self._begin_alg()
-        self._send_raw(dest, _freeze(payload), tag, "p2p")
+        # A serializing fabric (process backend) encodes the payload onto a
+        # real wire inside ``deliver`` — that encoding IS the copy, so the
+        # defensive freeze would be a second, redundant one.
+        if not self.fabric.serializes:
+            payload = _freeze(payload)
+        self._send_raw(dest, payload, tag, "p2p")
         self._end_alg("send", "p2p", before, 1)
         self._trace_end(tok, "p2p", 1)
 
@@ -372,7 +377,9 @@ class Communicator:
             self.group[dest],
             self._coll_tag(seq),
             # Copy at send time (wire semantics): receivers own their data.
-            (opname, self.comm_id, seq, _freeze(payload)),
+            # A serializing fabric's ring encoding already makes that copy.
+            (opname, self.comm_id, seq,
+             payload if self.fabric.serializes else _freeze(payload)),
             opname,
         )
 
@@ -917,7 +924,8 @@ class Communicator:
         tr = self.tracer
         t0 = tr.now() if tr is not None else 0.0
         new_id, members_parent_ranks = self.fabric.split_rendezvous(
-            self.comm_id, seq, self.size, self.rank, color, key
+            self.comm_id, seq, self.size, self.rank, color, key,
+            group=self.group,
         )
         if tr is not None:
             # the rendezvous is split's blocking point (last rank computes)

@@ -1,42 +1,51 @@
 """SPMD job launcher for the simulated runtime.
 
 ``spmd(nranks, fn, *args)`` plays the role of ``mpiexec -n nranks``: it
-creates a fabric, starts one thread per rank, runs ``fn(comm, *args)`` on
-each, and collects per-rank return values.  If any rank raises, the fabric is
-aborted so peers blocked in communication unwind promptly, and the first
-failure is re-raised in the caller with its originating rank attached.
+resolves a :class:`~repro.runtime.transport.Transport` (threads-as-ranks by
+default, forked processes over shared-memory rings with
+``backend="process"``), runs ``fn(comm, *args)`` on each rank, and collects
+per-rank return values.  If any rank raises, the fabric is aborted so peers
+blocked in communication unwind promptly, and the first failure is re-raised
+in the caller with its originating rank attached.
 
-Threads (not processes) are deliberate: NumPy kernels release the GIL, the
+Threads as the default are deliberate: NumPy kernels release the GIL, the
 mailbox fabric gives message-passing isolation at the API level, and tests
 can run hundreds of small jobs per second.  Nothing in ``repro.distmat`` or
 ``repro.matching.mcm_dist`` touches state outside its rank's own arrays plus
-the explicit ``Communicator``/``Window`` calls, so the same code would run
-unchanged over mpi4py.
+the explicit ``Communicator``/``Window`` calls, so the same code runs
+unchanged when ranks become OS processes — the cross-backend parity suite
+holds the two transports to bit-identical results.
 """
 
 from __future__ import annotations
 
 import os
-import threading
-from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from .checkpoint import Checkpoint, CheckpointStore
-from .comm import CollectiveConfig, Communicator, CommStats
+from .checkpoint import Checkpoint, CheckpointStore  # noqa: F401  (re-export)
+from .comm import CollectiveConfig
 from .errors import (
-    CollectiveMismatchError,
     CommAbort,
     DeadlockError,
     RankKilledError,
     TransientCommError,
 )
-from .fabric import Fabric
 from .faults import FaultInjector, FaultPlan
-from .trace import DistTrace, Tracer, make_trace_clock, merge_tracers
+from .trace import DistTrace
+from .transport import (  # noqa: F401  (SpmdResult re-exported for back-compat)
+    BACKENDS,
+    SpmdJob,
+    SpmdResult,
+    get_transport,
+)
 
 #: Environment override for the deadlock/timeout window of every blocking
 #: runtime call (seconds); explicit ``timeout=`` arguments win over it.
 TIMEOUT_ENV = "REPRO_SPMD_TIMEOUT"
+
+#: Environment override for the default transport (``thread`` / ``process``);
+#: explicit ``backend=`` arguments win over it.
+BACKEND_ENV = "REPRO_SPMD_BACKEND"
 
 
 def resolve_timeout(explicit: "float | None", default: float = 60.0) -> float:
@@ -49,49 +58,33 @@ def resolve_timeout(explicit: "float | None", default: float = 60.0) -> float:
     return default
 
 
-@dataclass
-class SpmdResult:
-    """Outcome of one SPMD job: per-rank return values and comm statistics."""
+def resolve_backend(explicit: "str | None", verify: bool = False) -> str:
+    """Backend precedence: explicit argument > $REPRO_SPMD_BACKEND > thread.
 
-    values: list[Any]
-    stats: list[CommStats]
-    nranks: int = 0
-    #: Verification counters when the job ran with ``verify=True``
-    #: (``{"collectives_checked": ..., "rma_ops_checked": ...}``), else None.
-    verify_summary: "dict[str, int] | None" = None
-    #: Merged per-rank span timeline when the job ran with ``trace=...``
-    #: (:class:`~repro.runtime.trace.DistTrace`), else None.
-    trace: "DistTrace | None" = None
-
-    def __post_init__(self) -> None:
-        self.nranks = len(self.values)
-
-    def __iter__(self):
-        return iter(self.values)
-
-    def __getitem__(self, rank: int) -> Any:
-        return self.values[rank]
-
-    @property
-    def total_messages(self) -> int:
-        return sum(s.messages_sent for s in self.stats)
-
-    @property
-    def total_words(self) -> int:
-        return sum(s.words_sent for s in self.stats)
-
-
-@dataclass
-class _RankOutcome:
-    value: Any = None
-    error: BaseException | None = None
-    finished: bool = False
-
-
-@dataclass
-class _Job:
-    fabric: Fabric
-    outcomes: list[_RankOutcome] = field(default_factory=list)
+    ``verify=True`` needs the shared collective trace and RMA access logs
+    only the in-process fabric keeps, so it is thread-only: an explicit
+    ``backend="process"`` request is an error, while an environment-supplied
+    process default (e.g. a CI matrix leg) silently falls back to threads so
+    verification tests still exercise what they were written to check.
+    """
+    if explicit is not None:
+        name = explicit
+        if name not in BACKENDS:
+            raise ValueError(f"unknown spmd backend {name!r}; choose from {BACKENDS}")
+        if verify and name == "process":
+            raise ValueError(
+                "verify=True requires the thread backend (the collective and "
+                "RMA verifiers need one shared trace across ranks)"
+            )
+        return name
+    name = os.environ.get(BACKEND_ENV, "").strip() or "thread"
+    if name not in BACKENDS:
+        raise ValueError(
+            f"${BACKEND_ENV}={name!r} is not a valid backend; choose from {BACKENDS}"
+        )
+    if verify and name == "process":
+        return "thread"
+    return name
 
 
 def spmd(
@@ -100,10 +93,11 @@ def spmd(
     *args: Any,
     timeout: "float | None" = None,
     verify: bool = False,
-    faults: "FaultInjector | FaultPlan | None" = None,
+    faults: "FaultInjector | FaultPlan | str | None" = None,
     join_grace: float = 5.0,
     comm_config: "CollectiveConfig | None" = None,
     trace: "bool | str" = False,
+    backend: "str | None" = None,
     **kwargs: Any,
 ) -> SpmdResult:
     """Run ``fn(comm, *args, **kwargs)`` on ``nranks`` simulated ranks.
@@ -111,7 +105,7 @@ def spmd(
     Parameters
     ----------
     nranks:
-        Number of simulated MPI ranks (threads).
+        Number of simulated MPI ranks.
     fn:
         The SPMD program.  Its first argument is this rank's
         :class:`~repro.runtime.comm.Communicator`.
@@ -141,6 +135,14 @@ def spmd(
         attribute when the job fails, with crashed ranks' open spans
         flushed (marked ``truncated``) and one ``fault:<Error>`` span per
         errored rank.
+    backend:
+        Which transport runs the ranks: ``"thread"`` (default — daemon
+        threads over the in-process mailbox fabric) or ``"process"``
+        (forked OS processes exchanging packed messages through
+        ``multiprocessing.shared_memory`` ring buffers; true rank
+        parallelism).  ``None`` resolves through ``$REPRO_SPMD_BACKEND``.
+        Both backends produce bit-identical results; ``fn``, its arguments
+        and its return values must be picklable under the process backend.
     join_grace:
         Final join window (seconds) before a non-terminating rank is
         reported via :class:`TimeoutError`; tests shrink it.
@@ -152,7 +154,8 @@ def spmd(
         and every one-sided window access is race-checked, raising
         :class:`~repro.runtime.errors.RmaRaceError` naming both conflicting
         accesses.  Costs one dict lookup per collective and one log scan per
-        RMA op; off by default.
+        RMA op; off by default.  Thread-backend only (see
+        :func:`resolve_backend`).
 
     Returns
     -------
@@ -167,129 +170,27 @@ def spmd(
     ranks (caused by the abort) are suppressed.
     """
     timeout = resolve_timeout(timeout)
+    if isinstance(faults, str):
+        faults = FaultPlan.parse(faults)
     if isinstance(faults, FaultPlan):
         faults = FaultInjector(faults, nranks)
-    fabric = Fabric(nranks, timeout=timeout, verify=verify, faults=faults)
-    comms = [
-        Communicator(fabric, comm_id=0, group=range(nranks), rank=r, config=comm_config)
-        for r in range(nranks)
-    ]
-    tracers = None
     clock_kind = ""
     if trace:
         clock_kind = "wall" if trace is True else str(trace)
-        tracers = [Tracer(r, make_trace_clock(clock_kind)) for r in range(nranks)]
-        fabric.tracers = tracers
-        for r in range(nranks):
-            comms[r].tracer = tracers[r]
-    outcomes = [_RankOutcome() for _ in range(nranks)]
-
-    def runner(rank: int) -> None:
-        try:
-            outcomes[rank].value = fn(comms[rank], *args, **kwargs)
-        except BaseException as exc:  # noqa: BLE001 - must capture to re-raise in caller
-            outcomes[rank].error = exc
-            fabric.abort()
-        finally:
-            outcomes[rank].finished = True
-
-    threads = [
-        threading.Thread(target=runner, args=(r,), name=f"spmd-rank-{r}", daemon=True)
-        for r in range(nranks)
-    ]
-    for t in threads:
-        t.start()
-    for t in threads:
-        # Generous join timeout: the fabric's own deadlock detector fires
-        # first in any stuck configuration; this is a final backstop.
-        t.join(timeout=timeout * 4)
-        if t.is_alive():
-            fabric.abort()
-    for t in threads:
-        t.join(timeout=join_grace)
-
-    dist_trace = None
-    if tracers is not None:
-        # faults/restarts must be diagnosable from the trace alone: every
-        # errored rank gets an explicit zero-length fault span before its
-        # open spans are flushed (and marked truncated) by the merge
-        for r, oc in enumerate(outcomes):
-            if oc.error is not None:
-                tr = tracers[r]
-                tr.add_complete(
-                    f"fault:{type(oc.error).__name__}",
-                    ts=tr.now(), dur=0.0, cat="fault",
-                    error=str(oc.error)[:200],
-                )
-        dist_trace = merge_tracers(tracers, clock_kind)
-
-    primary: tuple[int, BaseException] | None = None
-    for r, oc in enumerate(outcomes):
-        if oc.error is not None and not isinstance(oc.error, CommAbort):
-            if primary is None:
-                primary = (r, oc.error)
-    if primary is None:
-        # Only CommAborts (or a hung thread) — surface whichever exists.
-        for r, oc in enumerate(outcomes):
-            if oc.error is not None:
-                primary = (r, oc.error)
-                break
-        else:
-            for r, oc in enumerate(outcomes):
-                if not oc.finished:
-                    hung = TimeoutError(
-                        f"spmd rank {r} failed to terminate; "
-                        f"last blocked operation: {fabric.describe_blocked(r)}"
-                    )
-                    hung.spmd_rank = r
-                    hung.spmd_progress = dict(fabric.progress)
-                    hung.spmd_trace = dist_trace
-                    raise hung
-    if primary is not None:
-        rank, err = primary
-        wrapped = type(err)(f"[spmd rank {rank}] {err}")
-        # Recovery context for resilient drivers: which rank died and how
-        # far the job had progressed (phase markers published via
-        # ``Fabric.note_progress``).
-        wrapped.spmd_rank = rank
-        wrapped.spmd_progress = dict(fabric.progress)
-        wrapped.spmd_trace = dist_trace
-        raise wrapped from err
-
-    # A clean job must fully drain its collective traffic.  Leftovers mean
-    # some ranks entered collectives that others skipped — a silent
-    # mismatch that happened not to block (e.g. bcast vs reduce at p=2).
-    for r, mb in enumerate(fabric.mailboxes):
-        stray = mb.pending_collective()
-        if stray:
-            raise CollectiveMismatchError(
-                f"rank {r} finished with {len(stray)} undrained collective "
-                f"message(s) {stray[:4]}: ranks entered mismatched collectives"
-            )
-
-    verify_summary = None
-    if fabric.collective_trace is not None:
-        # Same-signature collectives that only a strict subset of ranks
-        # entered would have deadlocked or left stray messages above, but a
-        # root-completes-first pattern can slip through both; the trace
-        # holds the authoritative per-rank entry counts.
-        unfinished = fabric.collective_trace.incomplete()
-        if unfinished:
-            raise CollectiveMismatchError(
-                "job finished with collectives not entered by every rank: "
-                + "; ".join(unfinished[:4])
-            )
-        verify_summary = {
-            "collectives_checked": fabric.collective_trace.checked,
-            "rma_ops_checked": fabric.rma_ops_checked(),
-        }
-
-    return SpmdResult(
-        values=[oc.value for oc in outcomes],
-        stats=[c.stats for c in comms],
-        verify_summary=verify_summary,
-        trace=dist_trace,
+    transport = get_transport(resolve_backend(backend, verify=verify))
+    job = SpmdJob(
+        nranks=nranks,
+        fn=fn,
+        args=args,
+        kwargs=kwargs,
+        timeout=timeout,
+        verify=verify,
+        faults=faults,
+        join_grace=join_grace,
+        comm_config=comm_config,
+        clock_kind=clock_kind,
     )
+    return transport.run(job)
 
 
 #: Failure classes a resilient driver restarts from: simulated process
@@ -330,6 +231,7 @@ def run_mcm_dist_resilient(
     verify: bool = False,
     comm_config: "CollectiveConfig | None" = None,
     trace: "bool | str" = False,
+    backend: "str | None" = None,
     restart_on: tuple = RECOVERABLE_ERRORS,
     **mcm_kwargs: Any,
 ):
@@ -350,6 +252,11 @@ def run_mcm_dist_resilient(
     Crash events of the fault plan that already fired are disarmed on
     restart (a process only dies once); transient/delay faults re-arm.
 
+    Under ``backend="process"`` the checkpoint store must be a
+    :class:`~repro.runtime.checkpoint.FileCheckpointStore` — an in-memory
+    store in the parent is invisible to forked ranks, so a restart would
+    silently begin from phase 0.
+
     Returns ``(mate_r, mate_c, stats)`` with ``stats.restarts``,
     ``stats.phases_replayed`` and ``stats.checkpoint_words`` recorded.
 
@@ -358,7 +265,20 @@ def run_mcm_dist_resilient(
     is concatenated into one :class:`~repro.runtime.trace.DistTrace` with
     an explicit ``restart`` span at each seam, attached as ``stats.trace``.
     """
+    resolved_backend = resolve_backend(backend, verify=verify)
     store = checkpoint_store if checkpoint_store is not None else CheckpointStore()
+    if resolved_backend == "process" and not hasattr(store, "refresh_counters"):
+        if backend is None:
+            # backend came from $REPRO_SPMD_BACKEND, not the caller: fall
+            # back to thread (mirrors the verify fallback) rather than
+            # fail a job that never asked for processes
+            resolved_backend = "thread"
+        else:
+            raise ValueError(
+                "backend='process' requires a FileCheckpointStore: forked "
+                "ranks cannot write checkpoints into the parent's "
+                "in-memory store"
+            )
     disarmed: set = set()
     restarts = 0
     phases_replayed = 0
@@ -379,13 +299,17 @@ def run_mcm_dist_resilient(
             if faults is not None
             else None
         )
+        refresh = getattr(store, "refresh_counters", None)
+        if refresh is not None:
+            # multi-process writers bump the shared sidecar, not this object
+            refresh()
         resume = store.latest()
 
         try:
             result = spmd(
                 pr * pc, _resilient_rank_main, coo, pr, pc,
                 timeout=timeout, verify=verify, faults=injector,
-                comm_config=comm_config, trace=trace,
+                comm_config=comm_config, trace=trace, backend=resolved_backend,
                 checkpoint_every=checkpoint_every,
                 checkpoint_store=store,
                 resume=resume,
@@ -401,6 +325,9 @@ def run_mcm_dist_resilient(
             if restarts > max_restarts:
                 raise
             reached = getattr(exc, "spmd_progress", {}).get("phase", 0)
+            refresh = getattr(store, "refresh_counters", None)
+            if refresh is not None:
+                refresh()
             latest = store.latest()
             restart_from = latest.phase if latest is not None else 0
             # phases the failed attempt had completed (it entered phase
@@ -410,6 +337,9 @@ def run_mcm_dist_resilient(
 
     from ..matching.mcm_dist import merge_by_alg
 
+    refresh = getattr(store, "refresh_counters", None)
+    if refresh is not None:
+        refresh()
     mate_r, mate_c, stats = result[0]
     stats.comm_by_alg = merge_by_alg(result.values)
     stats.verify_summary = result.verify_summary

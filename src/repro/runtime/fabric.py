@@ -22,7 +22,7 @@ from __future__ import annotations
 import itertools
 import threading
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, NamedTuple, Sequence
 
 from .errors import CollectiveMismatchError, CommAbort, DeadlockError
 
@@ -35,14 +35,17 @@ ANY_TAG = -1
 _RESERVED_TAG_BASE = 1 << 30
 
 
-@dataclass(frozen=True)
-class Envelope:
+class Envelope(NamedTuple):
     """An in-flight message: immutable header plus an opaque payload.
 
     The payload is whatever object the sender passed.  For NumPy arrays the
     communicator copies at send time so the receiver can never observe
     mutations the sender performs after the send returns — the same guarantee
     a real interconnect gives by serializing bytes onto the wire.
+
+    A ``NamedTuple`` rather than a frozen dataclass: one is built per
+    message on both backends, and frozen-dataclass construction costs ~1us
+    against a namedtuple's ~0.2us.
     """
 
     source: int
@@ -137,6 +140,31 @@ class Mailbox:
             self._cond.notify_all()
 
 
+def describe_blocked_entry(entry: "tuple | None") -> str:
+    """Human description of a rank's last blocking operation.
+
+    Shared by every transport: the thread fabric reads its ``last_blocked``
+    list, the process transport decodes the same ``(kind, a, b)`` triples
+    from the control shared-memory segment of an unresponsive child.
+    """
+    if entry is None:
+        return "never blocked in the runtime (busy or stuck outside it)"
+    kind = entry[0]
+    if kind == "split":
+        _, comm_id, seq = entry
+        return f"split rendezvous on comm {comm_id} (collective seq {seq})"
+    _, source, tag = entry
+    peer = "ANY_SOURCE" if source == ANY_SOURCE else f"rank {source}"
+    if tag >= _RESERVED_TAG_BASE:
+        packed = tag - _RESERVED_TAG_BASE
+        return (
+            f"collective recv from {peer} "
+            f"(comm {packed >> 32}, collective seq {packed & 0xFFFFFFFF})"
+        )
+    tag_s = "ANY_TAG" if tag == ANY_TAG else str(tag)
+    return f"recv(source={peer}, tag={tag_s})"
+
+
 def _describe_signature(sig: tuple) -> str:
     """Human form of a collective signature tuple ``(op, root, extra)``."""
     op, root, extra = sig
@@ -216,6 +244,14 @@ class _SplitTable:
 class Fabric:
     """Shared interconnect for one SPMD job of ``nranks`` simulated ranks."""
 
+    #: Whether this fabric's transport serializes payloads onto a real wire.
+    #: ``False`` here: envelopes carry live object references between
+    #: threads, so the communicator must copy (``_freeze``) at send time to
+    #: get wire semantics.  A serializing fabric (the process backend) makes
+    #: that copy redundant — encoding into the ring IS the wire copy — and
+    #: the communicator skips it.
+    serializes = False
+
     def __init__(
         self,
         nranks: int,
@@ -260,8 +296,10 @@ class Fabric:
         self._split_lock = threading.Condition()
         # window registry: window id -> list of per-rank backing arrays
         self._windows: dict[int, list[Any]] = {}
+        self._win_locks: dict[int, list[threading.Lock]] = {}
         self._window_lock = threading.Lock()
         self._next_comm_id = itertools.count(1)
+        self._next_win_id = itertools.count(1)
 
     # -- message transport -------------------------------------------------
 
@@ -296,23 +334,7 @@ class Fabric:
 
     def describe_blocked(self, rank: int) -> str:
         """Human description of ``rank``'s last blocking operation."""
-        entry = self.last_blocked[rank]
-        if entry is None:
-            return "never blocked in the runtime (busy or stuck outside it)"
-        kind = entry[0]
-        if kind == "split":
-            _, comm_id, seq = entry
-            return f"split rendezvous on comm {comm_id} (collective seq {seq})"
-        _, source, tag = entry
-        peer = "ANY_SOURCE" if source == ANY_SOURCE else f"rank {source}"
-        if tag >= _RESERVED_TAG_BASE:
-            packed = tag - _RESERVED_TAG_BASE
-            return (
-                f"collective recv from {peer} "
-                f"(comm {packed >> 32}, collective seq {packed & 0xFFFFFFFF})"
-            )
-        tag_s = "ANY_TAG" if tag == ANY_TAG else str(tag)
-        return f"recv(source={peer}, tag={tag_s})"
+        return describe_blocked_entry(self.last_blocked[rank])
 
     def collect(self, rank: int, source: int, tag: int) -> Envelope:
         tracers = self.tracers
@@ -345,12 +367,17 @@ class Fabric:
         rank: int,
         color: int,
         key: int,
+        group: "Sequence[int] | None" = None,
     ) -> tuple[int, list[int]]:
         """All ranks of a communicator meet here to compute split groups.
 
-        Returns ``(new_comm_id_for_color, ordered global member ranks)``.
-        The computation is done once by the last rank to arrive; everyone
-        else blocks on the condition variable.
+        Returns ``(new_comm_id_for_color, member ranks)`` where members are
+        *parent-communicator-local* ranks ordered by ``(key, rank)``.  The
+        computation is done once by the last rank to arrive; everyone else
+        blocks on the condition variable.  ``group`` (the parent
+        communicator's global ranks) is unused here — the shared table needs
+        no routing — but a message-based fabric routes its rendezvous
+        through the group's first rank.
         """
         slot = (comm_id, seq)
         with self._split_lock:
@@ -382,16 +409,54 @@ class Fabric:
             return new_id, list(ranks)
 
     # -- window registry -----------------------------------------------------
+    #
+    # The one-sided layer (``repro.runtime.rma``) talks to window memory only
+    # through this five-call fabric API, so the same :class:`Window` class
+    # runs over thread-shared arrays here and over per-rank shared-memory
+    # segments in the process fabric:
+    #
+    # * ``new_win_id``  — job-unique id allocation (rank 0 calls, bcasts);
+    # * ``win_create``  — expose ``local`` as rank ``rank``'s slot, return
+    #   the per-rank slot table (indexable by target rank);
+    # * ``win_locks``   — per-target lock table giving element-wise atomicity;
+    # * ``win_sync``    — fence hook: make remote writes visible in the
+    #   owner's ``local`` array (no-op here: slots ARE the local arrays);
+    # * ``win_detach`` / ``win_destroy`` — the two halves of ``free``
+    #   (all ranks stop accessing, then backing storage is released).
 
-    def register_window(self, win_id: int, nranks: int) -> list[Any]:
+    def new_win_id(self) -> int:
+        return next(self._next_win_id)
+
+    def win_create(
+        self, win_id: int, rank: int, size: int, local: Any,
+        group: "Sequence[int] | None" = None,
+    ) -> Any:
         with self._window_lock:
-            if win_id not in self._windows:
-                self._windows[win_id] = [None] * nranks
-            return self._windows[win_id]
+            slots = self._windows.setdefault(win_id, [None] * size)
+        slots[rank] = local
+        return slots
 
-    def drop_window(self, win_id: int) -> None:
+    def win_locks(self, win_id: int, size: int) -> list:
+        with self._window_lock:
+            table = self._win_locks.get(win_id)
+            if table is None:
+                table = self._win_locks[win_id] = [
+                    threading.Lock() for _ in range(size)
+                ]
+            return table
+
+    def win_sync(self, win_id: int, rank: int) -> None:
+        pass  # threads share the arrays: always consistent
+
+    def win_detach(self, win_id: int, rank: int) -> None:
+        pass
+
+    def win_destroy(self, win_id: int, rank: int) -> None:
+        # every rank calls this after the post-detach barrier; the pops are
+        # idempotent so no designated owner is needed
         with self._window_lock:
             self._windows.pop(win_id, None)
+            self._win_locks.pop(win_id, None)
             # _rma_logs entries survive the drop: the fabric is per-job, and
             # the verify summary reports totals across freed windows too.
 

@@ -243,6 +243,26 @@ class FaultInjector:
         with self._lock:
             return set(self.fired)
 
+    def absorb_fired(self, tokens) -> None:
+        """Merge crash tokens fired by a forked copy of this injector.
+
+        The process transport forks one injector copy per rank; crashes fire
+        in the children, so the parent's ``fired`` list — the one the
+        resilient driver disarms from — must absorb the tokens the children
+        report back."""
+        with self._lock:
+            known = set(self.fired)
+            for tok in tokens:
+                tok = tuple(tok)
+                if tok not in known:
+                    known.add(tok)
+                    self.fired.append(tok)
+
+    def absorb_events(self, rank: int, events) -> None:
+        """Adopt rank ``rank``'s injected-fault log from its forked copy,
+        so the parent's :attr:`events` reads the same on both backends."""
+        self.events[rank] = [tuple(e) for e in events]
+
     # -- per-operation hooks (called from the rank's own thread) --------------
 
     def on_send(self, rank: int) -> "float | None":

@@ -23,7 +23,6 @@ cost is 3(α + β) rather than 4(α + β).
 
 from __future__ import annotations
 
-import itertools
 import threading
 import time
 from dataclasses import dataclass
@@ -33,9 +32,6 @@ import numpy as np
 
 from .comm import Communicator
 from .errors import RmaRaceError, TransientCommError, WindowError
-
-_window_ids = itertools.count(1)
-_window_id_lock = threading.Lock()
 
 
 @dataclass(frozen=True)
@@ -138,16 +134,19 @@ class Window:
             raise WindowError("window memory must be a 1-D numpy array")
         self.comm = comm
         self.local = local
-        # Rank 0 allocates the id and shares it so all ranks attach to the
-        # same fabric-level registry slot.
-        if comm.rank == 0:
-            with _window_id_lock:
-                win_id = next(_window_ids)
-        else:
-            win_id = None
+        # Rank 0 allocates the id from the fabric (job-unique — under the
+        # process fabric the counter lives in shared memory, so forked ranks
+        # can never collide) and shares it so all ranks attach to the same
+        # fabric-level window.
+        win_id = comm.fabric.new_win_id() if comm.rank == 0 else None
         self.win_id = comm.bcast(win_id, root=0)
-        self._slots = comm.fabric.register_window(self.win_id, comm.size)
-        self._slots[comm.rank] = local
+        # The fabric owns the window storage model: the thread fabric's slot
+        # table holds the ranks' arrays themselves, the process fabric backs
+        # each slot with a shared-memory segment and hands out lazy-attach
+        # views.  Either way ``self._slots[target]`` is target's memory.
+        self._slots = comm.fabric.win_create(
+            self.win_id, comm.rank, comm.size, local, comm.group
+        )
         # verify mode: attach the shared race-detection log for this window
         self._tracker: RmaAccessLog | None = None
         if comm.fabric.verify:
@@ -155,9 +154,7 @@ class Window:
             self._tracker = comm.fabric.rma_log_for(
                 wid, lambda: RmaAccessLog(wid, size)
             )
-        if comm.rank == 0 and len(self._locks_registry()) == 0:
-            pass  # locks created lazily below
-        self._locks = self._locks_registry()
+        self._locks = comm.fabric.win_locks(self.win_id, comm.size)
         comm.barrier()  # window is usable only after all ranks attached
         self.rma_ops = 0
         self.rma_words = 0
@@ -202,26 +199,17 @@ class Window:
         self._ep_ops = self.rma_ops
         self._ep_words = self.rma_words
 
-    # A per-window, per-target lock list shared by all rank-local Window
-    # objects of the same window id.  Stored on the fabric slot list's
-    # side-table to avoid a second rendezvous.
-    _locks_tables: dict[int, list[threading.Lock]] = {}
-    _locks_tables_guard = threading.Lock()
-
-    def _locks_registry(self) -> list[threading.Lock]:
-        with Window._locks_tables_guard:
-            table = Window._locks_tables.get(self.win_id)
-            if table is None:
-                table = [threading.Lock() for _ in range(self.comm.size)]
-                Window._locks_tables[self.win_id] = table
-            return table
-
     # -- access epoch management ---------------------------------------------
 
     def fence(self) -> None:
         """Collective synchronization separating access epochs
-        (``MPI_Win_fence``).  A barrier suffices under our always-consistent
-        shared-memory emulation."""
+        (``MPI_Win_fence``).  The barrier orders all pre-fence accesses
+        before all post-fence ones; ``win_sync`` then refreshes the owner's
+        ``local`` array (a no-op on the thread fabric where the window
+        aliases it, a shared-memory copy-back on the process fabric).  After
+        a fence the owner may read ``self.local``; owner *writes* between
+        create and free must go through window operations.
+        """
         if not self._epoch_open:
             raise WindowError(
                 f"fence on window {self.win_id} after Window.free(): epoch "
@@ -232,9 +220,17 @@ class Window:
             self._tracker.advance(self.comm.rank)
         self._trace_epoch("fence")
         self.comm.barrier()
+        self.comm.fabric.win_sync(self.win_id, self.comm.rank)
 
     def free(self) -> None:
-        """Collectively release the window (``MPI_Win_free``)."""
+        """Collectively release the window (``MPI_Win_free``).
+
+        Two-barrier sequence: after the first barrier no rank issues new
+        accesses, so every rank detaches (the process fabric copies the
+        final window contents back into the owner's ``local`` here); after
+        the second barrier no rank holds an attachment, so the backing
+        storage is destroyed.
+        """
         if not self._epoch_open:
             raise WindowError(
                 f"double free of window {self.win_id}: Window.free() was "
@@ -243,11 +239,9 @@ class Window:
         self._trace_epoch("free")
         self.comm.barrier()
         self._epoch_open = False
-        if self.comm.rank == 0:
-            self.comm.fabric.drop_window(self.win_id)
-            with Window._locks_tables_guard:
-                Window._locks_tables.pop(self.win_id, None)
+        self.comm.fabric.win_detach(self.win_id, self.comm.rank)
         self.comm.barrier()
+        self.comm.fabric.win_destroy(self.win_id, self.comm.rank)
 
     # -- one-sided operations --------------------------------------------------
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..kernels import ragged_gather_flat
 from .coo import COO
 from .semiring import SR_MIN_PARENT, Semiring, reduce_candidates
 from .spvec import VertexFrontier
@@ -31,19 +32,10 @@ def ragged_gather(indptr: np.ndarray, indices: np.ndarray, cols: np.ndarray) -> 
     Returns ``(gathered_indices, counts)`` where ``counts[k]`` is the length
     contributed by ``cols[k]``.  This is the vectorized replacement for the
     per-column Python loop — the single most important optimization in the
-    library (every SpMV, every degree filter goes through it).
+    library (every SpMV, every degree filter goes through it), and one of
+    the three loops :mod:`repro.kernels` compiles when numba is available.
     """
-    cols = np.asarray(cols, dtype=np.int64)
-    starts = indptr[cols]
-    counts = indptr[cols + 1] - starts
-    total = int(counts.sum())
-    if total == 0:
-        return np.empty(0, dtype=indices.dtype), counts
-    # positions = concat(arange(starts[k], starts[k]+counts[k]))
-    cum = np.cumsum(counts)
-    offsets = np.repeat(starts - np.concatenate(([0], cum[:-1])), counts)
-    positions = offsets + np.arange(total, dtype=np.int64)
-    return indices[positions], counts
+    return ragged_gather_flat(indptr, indices, np.asarray(cols, dtype=np.int64))
 
 
 class CSC:

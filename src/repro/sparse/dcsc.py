@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..kernels import pull_candidates
 from .coo import COO
 from .csc import ragged_gather
 from .semiring import SR_MIN_PARENT, Semiring, reduce_candidates
@@ -135,6 +136,22 @@ class DCSC:
         row_ptr, col_idx = self.csr_mirror()
         cols, counts = ragged_gather(row_ptr, col_idx, rows)
         return np.repeat(rows, counts), cols
+
+    def pull_rows(
+        self, rows: np.ndarray, root_of: np.ndarray, null: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Fused :meth:`explode_rows` + frontier filter for the bottom-up
+        pull: walk the given LOCAL rows through the cached CSR mirror and
+        keep only edges whose column is on the frontier (``root_of[col] !=
+        null``).  Returns ``(rows, cols, roots)`` filtered, rows in input
+        order and columns ascending within each row — same order the
+        two-step explode-then-mask produces, so downstream stable
+        reductions are bit-identical.  One of the three compiled loops of
+        :mod:`repro.kernels`: the fused form never materializes the
+        unfiltered candidate arrays."""
+        rows = np.asarray(rows, dtype=np.int64)
+        row_ptr, col_idx = self.csr_mirror()
+        return pull_candidates(row_ptr, col_idx, rows, root_of, null)
 
     # -- kernels ---------------------------------------------------------------
 

@@ -32,6 +32,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..kernels import keyed_min_scatter
+
 
 @dataclass(frozen=True)
 class Semiring:
@@ -91,9 +93,7 @@ def _reduce_scatter(
     kmax = int(np.abs(k).max()) if c else 0
     if kmax >= (_I64_MAX - c) // c:
         return None  # packed (key, position) would overflow int64
-    enc = k * np.int64(c) + np.arange(c, dtype=np.int64)
-    best = np.full(width, _I64_MAX, dtype=np.int64)
-    np.minimum.at(best, rows - lo, enc)
+    best = keyed_min_scatter(rows, k, lo, width)
     hit = best != _I64_MAX
     pos = best[hit] % np.int64(c)  # floor-mod recovers the position exactly
     ridx = np.flatnonzero(hit).astype(np.int64, copy=False) + lo

@@ -157,3 +157,64 @@ def test_resilient_result_is_still_maximum():
     assert is_valid_matching(a, mate_r, mate_c)
     assert verify_maximum(a, mate_r, mate_c)
     assert stats.restarts >= 1
+
+
+# -- concurrent multi-process writers ----------------------------------------
+
+def _hammer_store(directory, worker, phases):
+    import os
+    store = FileCheckpointStore(directory)
+    for phase in phases:
+        n = 64
+        store.save(Checkpoint(
+            phase=phase,
+            mate_row=np.full(n, worker, dtype=np.int64),
+            mate_col=np.full(n, phase, dtype=np.int64),
+        ))
+    os._exit(0)  # skip interpreter teardown races in the fork child
+
+
+def test_file_store_concurrent_process_writers(tmp_path):
+    """Forked writers racing on overlapping phases must never tear a file
+    or lose a counter update (the process backend's rank-0 writers plus a
+    restarted incarnation all share one directory)."""
+    import multiprocessing as mp
+
+    directory = str(tmp_path)
+    ctx = mp.get_context("fork")
+    nworkers, nphases = 4, 12
+    procs = [
+        ctx.Process(target=_hammer_store,
+                    args=(directory, w, list(range(nphases))))
+        for w in range(nworkers)
+    ]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(60)
+        assert p.exitcode == 0
+
+    store = FileCheckpointStore(directory)
+    store.refresh_counters()
+    assert store.saves == nworkers * nphases
+    latest = store.latest()
+    assert latest is not None and latest.phase == nphases - 1
+    # every file must be a complete npz from exactly one writer
+    for phase in range(nphases):
+        ck_phase = np.load(str(tmp_path / f"ck_phase{phase:06d}.npz"))
+        winner = ck_phase["mate_row"][0]
+        assert (ck_phase["mate_row"] == winner).all()
+        assert (ck_phase["mate_col"] == phase).all()
+    # no temp droppings survive
+    assert not [n for n in tmp_path.iterdir() if n.name.endswith(".tmp")]
+
+
+def test_file_store_refresh_counters_single_process(tmp_path):
+    store = FileCheckpointStore(str(tmp_path))
+    store.save(_ck(0))
+    store.save(_ck(1))
+    other = FileCheckpointStore(str(tmp_path))
+    assert other.saves == 0
+    other.refresh_counters()
+    assert other.saves == 2
+    assert other.words_written == 2 * _ck(0).words

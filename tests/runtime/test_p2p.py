@@ -122,10 +122,12 @@ def test_recv_without_send_raises_deadlock_error():
         spmd(2, main, timeout=0.3)
 
 
-def test_exception_in_one_rank_propagates_and_unblocks_peers():
-    class Boom(RuntimeError):
-        pass
+class Boom(RuntimeError):
+    """Module-level so the process backend can pickle it over the result
+    pipe — function-local exception types degrade to CommError there."""
 
+
+def test_exception_in_one_rank_propagates_and_unblocks_peers():
     def main(comm):
         if comm.rank == 0:
             raise Boom("rank 0 died")
