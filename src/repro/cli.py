@@ -120,6 +120,28 @@ def cmd_scaling(args) -> int:
 def cmd_spmd(args) -> int:
     from .matching.mcm_dist import run_mcm_dist
 
+    if args.scenario is not None:
+        from .runtime.scenarios import SCENARIOS, run_scenario
+
+        if args.scenario not in SCENARIOS:
+            print(f"unknown scenario {args.scenario!r}; choose from "
+                  f"{', '.join(sorted(SCENARIOS))}")
+            return 2
+        report = run_scenario(
+            args.scenario,
+            backend=args.backend,
+            requests=args.scenario_requests,
+        )
+        import json
+
+        if args.stats_json:
+            with open(args.stats_json, "w") as fh:
+                json.dump(report, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"SLO report written to {args.stats_json}")
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+
     coo = _load_input(args)
     init = args.init if args.init in ("greedy", "mindegree") else "none"
     trace = args.trace_clock if args.trace else False
@@ -276,8 +298,17 @@ def build_parser() -> argparse.ArgumentParser:
                         "the seed makes the injected fault sequence reproducible")
     p.add_argument("--chaos-plan", default="crash:rank=any,at=phase:every",
                    metavar="PLAN",
-                   help="fault plan: ';'-separated crash:rank=R,at=KIND:N / "
-                        "transient:p=P / delay:p=P clauses (see DESIGN.md)")
+                   help="fault plan: ';'-separated crash:rank=R|group=G,"
+                        "at=KIND:N / transient:p=P / delay:p=P / "
+                        "straggler:factor=F / link:src=A,dst=B,alpha=F / "
+                        "disrupt:p=P clauses (see DESIGN.md)")
+    p.add_argument("--scenario", default=None, metavar="NAME",
+                   help="replay a named adversity scenario (baseline, "
+                        "straggler, degraded-links, correlated-crash, "
+                        "disrupted) and print its SLO report instead of a "
+                        "single run; ignores the input-graph flags")
+    p.add_argument("--scenario-requests", type=int, default=None, metavar="N",
+                   help="override the scenario's request-stream length")
     p.add_argument("--checkpoint-every", type=int, default=1, metavar="N",
                    help="snapshot the matching every N completed phases")
     p.add_argument("--max-restarts", type=int, default=8, metavar="M",

@@ -87,6 +87,19 @@ class DistStats:
     restarts: int = 0
     phases_replayed: int = 0
     checkpoint_words: int = 0
+    #: deterministic model-time service of the successful attempt under a
+    #: fault injector: the slowest rank's priced-message ledger (through
+    #: straggler/disruption factors and the degraded-link α-β model).
+    #: Failed attempts are excluded — the scenario driver reconstructs
+    #: their lost work from ``restart_spans`` x a crash-free twin's
+    #: ``model_phase_ledger``, because a crashed attempt's own counters
+    #: depend on which victims the abort unwinds first
+    model_seconds: float = 0.0
+    #: phase boundary -> max per-rank model-second ledger entering it
+    #: (successful attempt; None without a fault injector)
+    model_phase_ledger: "dict[int, float] | None" = None
+    #: (resume_phase, death_phase) per failed attempt of a resilient run
+    restart_spans: "tuple[tuple[int, int], ...]" = ()
     #: filled by :func:`run_mcm_dist` when the job ran with ``verify=True``
     verify_summary: "dict[str, int] | None" = None
 

@@ -25,15 +25,18 @@ times are model seconds rather than Cray wall-clock.
 
 from .machine import MachineSpec, EDISON, GridShape
 from .clock import BspClock
+from .links import ANY_RANK, LinkModel
 from .timers import Breakdown, Category
 from . import collectives
 
 __all__ = [
+    "ANY_RANK",
     "Breakdown",
     "BspClock",
     "Category",
     "EDISON",
     "GridShape",
+    "LinkModel",
     "MachineSpec",
     "collectives",
 ]

@@ -29,6 +29,23 @@ def _log2ceil(p: int) -> int:
     return max(1, math.ceil(math.log2(max(2, p)))) if p > 1 else 0
 
 
+def degraded_params(
+    alpha: float, beta: float, links=None, group=None
+) -> tuple[float, float]:
+    """(α, β) a collective over ``group`` sees under link degradation.
+
+    ``links`` is a :class:`repro.perfmodel.links.LinkModel` (or ``None`` for
+    a healthy fabric); ``group`` the participating ranks.  A bulk-synchronous
+    collective finishes with its slowest participant, so the worst degraded
+    edge inside the group inflates the whole collective's (α, β) — the
+    pessimistic-but-honest reading of asymmetric topology damage.
+    """
+    if links is None:
+        return alpha, beta
+    fa, fb = links.worst_factors(group)
+    return alpha * fa, beta * fb
+
+
 def p2p(alpha: float, beta: float, words: float) -> float:
     """One point-to-point message of ``words`` 8-byte words."""
     return alpha + beta * words
@@ -89,8 +106,9 @@ def allreduce_reduce_bcast(p: int, alpha: float, beta: float, words: float) -> f
     return reduce_binomial(p, alpha, beta, words) + bcast_binomial(p, alpha, beta, words)
 
 
-def allreduce(p: int, alpha: float, beta: float, words: float, algorithm: str = "reduce_bcast") -> float:
+def allreduce(p: int, alpha: float, beta: float, words: float, algorithm: str = "reduce_bcast", links=None, group=None) -> float:
     """Dispatch on the modeled allreduce implementation."""
+    alpha, beta = degraded_params(alpha, beta, links, group)
     if algorithm == "doubling":
         return allreduce_recursive_doubling(p, alpha, beta, words)
     if algorithm == "reduce_bcast":
@@ -163,8 +181,9 @@ def allgather_recursive_doubling(p: int, alpha: float, beta: float, total_words:
     return alpha * _log2ceil(p) + beta * total_words * (p - 1) / p
 
 
-def alltoallv(p: int, alpha: float, beta: float, max_send_words: float, algorithm: str = "bruck") -> float:
+def alltoallv(p: int, alpha: float, beta: float, max_send_words: float, algorithm: str = "bruck", links=None, group=None) -> float:
     """Dispatch on the modeled all-to-all implementation."""
+    alpha, beta = degraded_params(alpha, beta, links, group)
     if algorithm == "bruck":
         return alltoallv_bruck(p, alpha, beta, max_send_words)
     if algorithm == "pairwise":
@@ -172,8 +191,9 @@ def alltoallv(p: int, alpha: float, beta: float, max_send_words: float, algorith
     raise ValueError(f"unknown alltoall algorithm {algorithm!r}")
 
 
-def allgather(p: int, alpha: float, beta: float, total_words: float, algorithm: str = "doubling") -> float:
+def allgather(p: int, alpha: float, beta: float, total_words: float, algorithm: str = "doubling", links=None, group=None) -> float:
     """Dispatch on the modeled allgather implementation."""
+    alpha, beta = degraded_params(alpha, beta, links, group)
     if algorithm == "doubling":
         return allgather_recursive_doubling(p, alpha, beta, total_words)
     if algorithm == "ring":

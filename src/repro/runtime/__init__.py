@@ -31,6 +31,7 @@ from .errors import (
     CommError,
     CollectiveMismatchError,
     DeadlockError,
+    FaultPlanError,
     RankKilledError,
     RmaRaceError,
     TransientCommError,
@@ -56,8 +57,9 @@ from .comm import (
 from .pack import pack_arrays, pack_indices, unpack_arrays, unpack_indices
 from .rma import RmaAccessLog, Window
 from .trace import DistTrace, Span, TraceError, Tracer, make_trace_clock, tspan
-from .faults import CrashSpec, FaultInjector, FaultPlan, RetryPolicy
+from .faults import CRASH_GROUPS, CrashSpec, FaultInjector, FaultPlan, RetryPolicy
 from .checkpoint import Checkpoint, CheckpointStore, FileCheckpointStore
+from .scenarios import SCENARIOS, Scenario, run_scenario
 from .executor import (
     RECOVERABLE_ERRORS,
     SpmdResult,
@@ -74,6 +76,7 @@ __all__ = [
     "BACKENDS",
     "BAND",
     "BOR",
+    "CRASH_GROUPS",
     "Checkpoint",
     "CheckpointStore",
     "CollectiveConfig",
@@ -90,6 +93,7 @@ __all__ = [
     "Fabric",
     "FaultInjector",
     "FaultPlan",
+    "FaultPlanError",
     "FileCheckpointStore",
     "LAND",
     "LOR",
@@ -103,7 +107,9 @@ __all__ = [
     "RetryPolicy",
     "RmaAccessLog",
     "RmaRaceError",
+    "SCENARIOS",
     "SUM",
+    "Scenario",
     "Span",
     "SpmdJob",
     "SpmdResult",
@@ -120,6 +126,7 @@ __all__ = [
     "resolve_backend",
     "resolve_timeout",
     "run_mcm_dist_resilient",
+    "run_scenario",
     "spmd",
     "tspan",
     "unpack_arrays",

@@ -165,10 +165,14 @@ class CommStats:
     retries: int = 0
     retries_by_op: dict[str, int] = field(default_factory=dict)
 
-    def record(self, op: str, payload: Any) -> None:
+    def record(self, op: str, payload: Any) -> int:
+        """Count one message; returns its payload word count so callers can
+        price it without measuring the payload twice."""
+        words = _payload_words(payload)
         self.messages_sent += 1
-        self.words_sent += _payload_words(payload)
+        self.words_sent += words
         self.by_op[op] = self.by_op.get(op, 0) + 1
+        return words
 
     def record_alg(self, op: str, alg: str, messages: int, words: int, steps: int) -> None:
         d = self.by_alg.setdefault(
@@ -292,10 +296,36 @@ class Communicator:
         self._trace_end(tok, "p2p", 1)
 
     def _send_raw(self, dest: int, payload: Any, tag: int, op: str) -> None:
-        self.stats.record(op, payload)
-        self._deliver_with_faults(self.group[dest], tag, payload, op)
+        words = self.stats.record(op, payload)
+        self._deliver_with_faults(self.group[dest], tag, payload, op, words)
 
-    def _deliver_with_faults(self, dest_global: int, tag: int, payload: Any, op: str) -> None:
+    def _fault_sleep(self, seconds: float, category: str) -> None:
+        """Sleep injected adversity time, visible in traces.
+
+        Every injected sleep (retry backoff, straggler stall) emits a
+        ``cat="fault"`` span carrying ``{category, rank, seconds}`` so
+        ``repro trace-report`` can attribute adversity time instead of it
+        vanishing into apparent compute time.
+        """
+        tr = self.tracer
+        if tr is None:
+            time.sleep(seconds)
+            return
+        t0 = tr.now()
+        time.sleep(seconds)
+        tr.add_complete(
+            "fault:delay",
+            ts=t0,
+            dur=tr.now() - t0,
+            cat="fault",
+            category=category,
+            rank=self.global_rank,
+            seconds=seconds,
+        )
+
+    def _deliver_with_faults(
+        self, dest_global: int, tag: int, payload: Any, op: str, words: int = 0
+    ) -> None:
         """Deliver one envelope, absorbing injected transient failures.
 
         With no injector armed this is a single attribute check plus the
@@ -303,7 +333,11 @@ class Communicator:
         injection, transient send failures are retried with capped
         exponential backoff and counted on :class:`CommStats`; a send still
         failing after the retry budget re-raises
-        :class:`TransientCommError` as a permanent failure.
+        :class:`TransientCommError` as a permanent failure.  Each message
+        that does go out is priced into the injector's deterministic
+        model-time ledger (straggler/disruption factors x degraded-link
+        α-β), and a straggling rank additionally serves its wall-clock
+        stall here.
         """
         fabric = self.fabric
         faults = fabric.faults
@@ -324,8 +358,12 @@ class Communicator:
                         f"{dest_global} (op {op}) still failing after "
                         f"{policy.max_retries} retries"
                     ) from None
-                time.sleep(policy.delay(attempt))
+                self._fault_sleep(policy.delay(attempt), "retry-backoff")
                 continue
+            stall = faults.wall_delay(self.global_rank)
+            if stall > 0.0:
+                self._fault_sleep(stall, "straggler")
+            faults.price_message(self.global_rank, dest_global, words)
             fabric.deliver(self.global_rank, dest_global, tag, payload, reorder_u)
             return
 
@@ -372,7 +410,7 @@ class Communicator:
         return _RESERVED_TAG_BASE + (self.comm_id << 32) + seq
 
     def _coll_send(self, dest: int, payload: Any, opname: str, seq: int) -> None:
-        self.stats.record(opname, payload)
+        words = self.stats.record(opname, payload)
         self._deliver_with_faults(
             self.group[dest],
             self._coll_tag(seq),
@@ -381,6 +419,7 @@ class Communicator:
             (opname, self.comm_id, seq,
              payload if self.fabric.serializes else _freeze(payload)),
             opname,
+            words,
         )
 
     def _coll_recv(self, source: int, opname: str, seq: int) -> Any:

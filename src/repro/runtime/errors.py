@@ -43,6 +43,18 @@ class RmaRaceError(WindowError):
     """
 
 
+class FaultPlanError(CommError, ValueError):
+    """A fault-plan string failed to parse.
+
+    Raised by :meth:`~repro.runtime.faults.FaultPlan.parse` (and the
+    scenario compiler built on it) with the offending clause or token
+    named, so a typo in ``--chaos-plan`` / ``--scenario`` surfaces as a
+    precise message instead of a generic ``ValueError`` or a silently
+    ignored clause.  Subclasses ``ValueError`` so pre-existing callers
+    catching that still work.
+    """
+
+
 class TransientCommError(CommError):
     """A send or one-sided op failed transiently (injected lossy link).
 

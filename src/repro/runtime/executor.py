@@ -282,6 +282,13 @@ def run_mcm_dist_resilient(
     disarmed: set = set()
     restarts = 0
     phases_replayed = 0
+    #: (resume_phase, death_phase) per failed attempt.  Both are
+    #: deterministic — the checkpoint write is collective and completes
+    #: before the next boundary's crash point, and the first victim notes
+    #: its boundary before dying — so the scenario driver can price the
+    #: failed attempt's lost work from a crash-free run's phase ledger
+    #: without touching the crashed attempt's scheduler-racy counters.
+    restart_spans: list = []
     job_trace: "DistTrace | None" = None
 
     def merge_attempt(attempt_trace: "DistTrace | None") -> None:
@@ -295,7 +302,7 @@ def run_mcm_dist_resilient(
 
     while True:
         injector = (
-            FaultInjector(faults, pr * pc, disarmed=disarmed)
+            FaultInjector(faults, pr * pc, disarmed=disarmed, grid=(pr, pc))
             if faults is not None
             else None
         )
@@ -304,6 +311,7 @@ def run_mcm_dist_resilient(
             # multi-process writers bump the shared sidecar, not this object
             refresh()
         resume = store.latest()
+        resume_phase = resume.phase if resume is not None else 0
 
         try:
             result = spmd(
@@ -325,6 +333,7 @@ def run_mcm_dist_resilient(
             if restarts > max_restarts:
                 raise
             reached = getattr(exc, "spmd_progress", {}).get("phase", 0)
+            restart_spans.append((resume_phase, reached))
             refresh = getattr(store, "refresh_counters", None)
             if refresh is not None:
                 refresh()
@@ -346,5 +355,19 @@ def run_mcm_dist_resilient(
     stats.restarts = restarts
     stats.phases_replayed = phases_replayed
     stats.checkpoint_words = store.words_written
+    # model-time service of the SUCCESSFUL attempt only: slowest rank's
+    # ledger (bulk-synchronous completion rule).  Failed attempts' lost work
+    # is NOT folded in here — their counters are scheduler-racy — it is
+    # reconstructed by the scenario driver from ``restart_spans`` against a
+    # crash-free twin's ``model_phase_ledger``.
+    stats.model_seconds = (
+        max(injector.model_seconds) if injector is not None else 0.0
+    )
+    stats.model_phase_ledger = (
+        {p: injector.phase_ledger[p] for p in sorted(injector.phase_ledger)}
+        if injector is not None
+        else None
+    )
+    stats.restart_spans = tuple(restart_spans)
     stats.trace = job_trace
     return mate_r, mate_c, stats

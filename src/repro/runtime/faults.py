@@ -15,6 +15,9 @@ Fault categories
 * **rank crashes** — a rank dies at its Nth collective entry, Nth send, Nth
   one-sided RMA op, or at an MCM phase boundary (:class:`RankKilledError`);
   the executor aborts the job and survivors unwind with ``CommAbort``.
+  A crash may target a *group* instead of a single rank: every rank of a
+  seeded grid row, grid column, or random clique dies at the same logical
+  event — the correlated node-failure shape (one cabinet, one switch).
 * **transient send / RMA failures** — an operation fails with
   :class:`TransientCommError` with probability ``p`` per attempt; the
   communicator retries with capped exponential backoff
@@ -25,6 +28,20 @@ Fault categories
   never past an envelope of its own ``(source, tag)`` stream, preserving
   MPI's non-overtaking guarantee.  Only wildcard-receive observation order
   can change — a legal interconnect reordering.
+* **persistent stragglers** — one seeded rank per MCM phase has every comm
+  op model-time-inflated by a configurable factor (and optionally a real
+  wall-clock sleep), the "slowest participant dominates" adversity of
+  parallel matching.
+* **degraded links** — per-(src, dst)-edge α/β inflation
+  (:class:`~repro.perfmodel.links.LinkModel`) priced into each message's
+  model time; asymmetric topology damage rather than uniform slowdown.
+* **round disruption** — a Bernoulli draw per MCM phase marks the whole
+  superstep disrupted, inflating every rank's model time for that phase
+  (transient fabric-wide congestion).
+
+Faults change *when* things happen, never *what* is computed: logical comm
+counters and the final matching are identical with and without straggler /
+link / disrupt clauses (a property test enforces this).
 
 Plan grammar (``repro spmd --chaos SEED --chaos-plan PLAN``)
 ------------------------------------------------------------
@@ -35,19 +52,36 @@ Semicolon-separated clauses::
                              KIND = collective | send | rma | phase;
                              N = 1-based occurrence index, or 'every'
                              (phase crashes only: one crash per boundary)
+    crash:group=G,at=KIND:N  correlated crash: G = row | col | clique:K;
+                             a seeded grid row / column / K-rank clique all
+                             die at the same logical event
     transient:p=P            send AND rma ops fail with probability P
     transient:send=P,rma=Q   per-category probabilities
     delay:p=P                deliveries are reordered with probability P
+    straggler:factor=F       seeded per-phase slow rank; its comm ops cost
+                             F x model time.  Optional rank=R|any (default
+                             any = re-drawn per phase), sleep=S (wall-clock
+                             seconds added per op, traced as fault spans)
+    link:src=A,dst=B,alpha=F degraded directed edge A -> B ('*' = any rank);
+                             alpha (and optional beta=G, default = F)
+                             inflation factors, must be >= 1; repeatable
+    disrupt:p=P              each phase is disrupted with probability P;
+                             optional factor=F (default 4) inflates every
+                             rank's model time during a disrupted phase
 
-Example: ``crash:rank=any,at=phase:every;transient:p=0.02;delay:p=0.1``.
+Example: ``crash:group=row,at=phase:2;straggler:factor=8;link:src=0,dst=*,alpha=4``.
+
+Malformed plans raise :class:`~repro.runtime.errors.FaultPlanError` naming
+the offending clause or token.
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from .errors import RankKilledError, TransientCommError
+from ..perfmodel.links import ANY_RANK, LinkModel
+from .errors import FaultPlanError, RankKilledError, TransientCommError
 
 _MASK = (1 << 64) - 1
 
@@ -57,9 +91,16 @@ _CAT_RMA_FAIL = 0x52
 _CAT_DELAY = 0x53
 _CAT_DELAY_SLOT = 0x54
 _CAT_VICTIM = 0x55
+_CAT_STRAGGLER = 0x56
+_CAT_DISRUPT = 0x57
+_CAT_GROUP = 0x58
+_CAT_CLIQUE = 0x59
 
 #: operation kinds a crash can be scheduled at
 CRASH_KINDS = ("collective", "send", "rma", "phase")
+
+#: correlated-crash group shapes (clique takes a :K size suffix)
+CRASH_GROUPS = ("row", "col", "clique")
 
 
 def _mix(*parts: int) -> int:
@@ -98,16 +139,21 @@ class RetryPolicy:
 
 @dataclass(frozen=True)
 class CrashSpec:
-    """One scheduled rank death.
+    """One scheduled rank (or rank-group) death.
 
     ``rank`` is a fixed rank index or ``None`` for a seeded choice;
     ``at`` is one of :data:`CRASH_KINDS`; ``n`` is the 1-based occurrence
     (``None`` = every occurrence, legal only for ``at='phase'``).
+    ``group`` makes the crash correlated: ``'row'`` / ``'col'`` kill a
+    seeded grid row or column, ``'clique:K'`` a seeded K-rank clique; the
+    whole group dies at the same logical event.  ``rank`` must be ``None``
+    when ``group`` is set.
     """
 
     rank: int | None
     at: str
     n: int | None
+    group: str | None = None
 
     def __post_init__(self) -> None:
         if self.at not in CRASH_KINDS:
@@ -116,6 +162,74 @@ class CrashSpec:
             raise ValueError("n='every' is only supported for at='phase' crashes")
         if self.n is not None and self.n < 1:
             raise ValueError(f"crash occurrence index must be >= 1, got {self.n}")
+        if self.group is not None:
+            if self.rank is not None:
+                raise ValueError("crash spec cannot set both rank and group")
+            base, _, size = self.group.partition(":")
+            if base not in CRASH_GROUPS:
+                raise ValueError(
+                    f"crash group must be one of {CRASH_GROUPS}, got {self.group!r}"
+                )
+            if base == "clique":
+                if not size.isdigit() or int(size) < 1:
+                    raise ValueError(
+                        f"clique group needs a positive size, got {self.group!r}"
+                    )
+            elif size:
+                raise ValueError(f"group {base!r} takes no size, got {self.group!r}")
+
+    def clique_size(self) -> int:
+        """Size K of a ``clique:K`` group (1 for anything else)."""
+        if self.group and self.group.startswith("clique"):
+            return int(self.group.partition(":")[2])
+        return 1
+
+
+def _plan_int(clause: str, key: str, raw: str) -> int:
+    try:
+        return int(raw)
+    except ValueError:
+        raise FaultPlanError(
+            f"fault clause {clause!r}: {key}={raw!r} is not an integer"
+        ) from None
+
+
+def _plan_float(clause: str, key: str, raw: str) -> float:
+    try:
+        return float(raw)
+    except ValueError:
+        raise FaultPlanError(
+            f"fault clause {clause!r}: {key}={raw!r} is not a number"
+        ) from None
+
+
+def _plan_kv(clause: str, body: str, allowed: tuple[str, ...]) -> dict[str, str]:
+    """Parse ``k=v,k=v`` with precise errors naming the offending token."""
+    kv: dict[str, str] = {}
+    for item in filter(None, (i.strip() for i in body.split(","))):
+        key, eq, value = item.partition("=")
+        if not eq or not value:
+            raise FaultPlanError(
+                f"fault clause {clause!r}: expected key=value, got {item!r}"
+            )
+        if key not in allowed:
+            raise FaultPlanError(
+                f"fault clause {clause!r}: unknown key {key!r} "
+                f"(allowed: {', '.join(allowed)})"
+            )
+        kv[key] = value
+    return kv
+
+
+def _plan_endpoint(clause: str, key: str, raw: str) -> int:
+    if raw in ("*", "any"):
+        return ANY_RANK
+    rank = _plan_int(clause, key, raw)
+    if rank < 0:
+        raise FaultPlanError(
+            f"fault clause {clause!r}: {key}={raw!r} must be a rank index or '*'"
+        )
+    return rank
 
 
 @dataclass(frozen=True)
@@ -127,55 +241,160 @@ class FaultPlan:
     transient_send_p: float = 0.0
     transient_rma_p: float = 0.0
     delay_p: float = 0.0
+    #: model-time inflation factor of the per-phase straggler (1 = none)
+    straggler_factor: float = 1.0
+    #: fixed straggler rank, or None = seeded choice per phase
+    straggler_rank: int | None = None
+    #: wall-clock seconds the straggler sleeps per comm op (traced)
+    straggler_sleep: float = 0.0
+    #: degraded directed edges: (src, dst, alpha_factor, beta_factor)
+    links: tuple[tuple[int, int, float, float], ...] = ()
+    #: per-phase Bernoulli disruption probability and its model-time factor
+    disrupt_p: float = 0.0
+    disrupt_factor: float = 4.0
+
+    @property
+    def straggling(self) -> bool:
+        return self.straggler_factor > 1.0 or self.straggler_sleep > 0.0
 
     @classmethod
     def parse(cls, text: str, seed: int = 0) -> "FaultPlan":
-        """Build a plan from the CLI grammar (see module docstring)."""
+        """Build a plan from the CLI grammar (see module docstring).
+
+        Raises :class:`FaultPlanError` (a ``ValueError`` subclass) naming
+        the offending clause or token on any malformed input.
+        """
         crashes: list[CrashSpec] = []
         send_p = rma_p = delay_p = 0.0
+        strag_f, strag_rank, strag_sleep = 1.0, None, 0.0
+        links: list[tuple[int, int, float, float]] = []
+        disrupt_p, disrupt_f = 0.0, 4.0
+        if text.strip() == "(no faults)":
+            text = ""  # the empty plan's describe() sentinel round-trips
         for clause in filter(None, (c.strip() for c in text.split(";"))):
             head, _, body = clause.partition(":")
-            kv = dict(
-                item.split("=", 1) for item in filter(None, body.split(","))
-            )
             if head == "crash":
-                rank_s = kv.get("rank", "any")
-                rank = None if rank_s == "any" else int(rank_s)
+                kv = _plan_kv(clause, body, ("rank", "group", "at"))
+                group = kv.get("group")
+                rank_s = kv.get("rank", "any" if group is None else None)
+                rank = (
+                    None
+                    if rank_s in ("any", None)
+                    else _plan_int(clause, "rank", rank_s)
+                )
                 at_s = kv.get("at", "")
                 kind, _, n_s = at_s.partition(":")
-                n = None if n_s in ("every", "") else int(n_s)
-                if n is None and n_s != "every":
-                    raise ValueError(f"crash clause needs at=KIND:N, got {clause!r}")
-                crashes.append(CrashSpec(rank=rank, at=kind, n=n))
+                if n_s == "every":
+                    n = None
+                elif n_s:
+                    n = _plan_int(clause, "at", n_s)
+                else:
+                    raise FaultPlanError(
+                        f"fault clause {clause!r}: crash needs at=KIND:N "
+                        f"(N a 1-based index or 'every'), got at={at_s!r}"
+                    )
+                try:
+                    crashes.append(CrashSpec(rank=rank, at=kind, n=n, group=group))
+                except ValueError as exc:
+                    raise FaultPlanError(f"fault clause {clause!r}: {exc}") from None
             elif head == "transient":
+                kv = _plan_kv(clause, body, ("p", "send", "rma"))
                 if "p" in kv:
-                    send_p = rma_p = float(kv["p"])
-                send_p = float(kv.get("send", send_p))
-                rma_p = float(kv.get("rma", rma_p))
+                    send_p = rma_p = _plan_float(clause, "p", kv["p"])
+                if "send" in kv:
+                    send_p = _plan_float(clause, "send", kv["send"])
+                if "rma" in kv:
+                    rma_p = _plan_float(clause, "rma", kv["rma"])
             elif head == "delay":
-                delay_p = float(kv.get("p", 0.0))
+                kv = _plan_kv(clause, body, ("p",))
+                delay_p = _plan_float(clause, "p", kv.get("p", "0"))
+            elif head == "straggler":
+                kv = _plan_kv(clause, body, ("factor", "rank", "sleep"))
+                if "factor" not in kv:
+                    raise FaultPlanError(
+                        f"fault clause {clause!r}: straggler needs factor=F"
+                    )
+                strag_f = _plan_float(clause, "factor", kv["factor"])
+                if strag_f < 1.0:
+                    raise FaultPlanError(
+                        f"fault clause {clause!r}: straggler factor must be >= 1"
+                    )
+                rank_s = kv.get("rank", "any")
+                strag_rank = (
+                    None if rank_s == "any" else _plan_int(clause, "rank", rank_s)
+                )
+                strag_sleep = _plan_float(clause, "sleep", kv.get("sleep", "0"))
+            elif head == "link":
+                kv = _plan_kv(clause, body, ("src", "dst", "alpha", "beta"))
+                if "src" not in kv or "dst" not in kv or "alpha" not in kv:
+                    raise FaultPlanError(
+                        f"fault clause {clause!r}: link needs src=, dst= and alpha="
+                    )
+                src = _plan_endpoint(clause, "src", kv["src"])
+                dst = _plan_endpoint(clause, "dst", kv["dst"])
+                fa = _plan_float(clause, "alpha", kv["alpha"])
+                fb = _plan_float(clause, "beta", kv.get("beta", kv["alpha"]))
+                if fa < 1.0 or fb < 1.0:
+                    raise FaultPlanError(
+                        f"fault clause {clause!r}: link inflation factors must be >= 1"
+                    )
+                links.append((src, dst, fa, fb))
+            elif head == "disrupt":
+                kv = _plan_kv(clause, body, ("p", "factor"))
+                if "p" not in kv:
+                    raise FaultPlanError(f"fault clause {clause!r}: disrupt needs p=P")
+                disrupt_p = _plan_float(clause, "p", kv["p"])
+                disrupt_f = _plan_float(clause, "factor", kv.get("factor", "4"))
+                if disrupt_f < 1.0:
+                    raise FaultPlanError(
+                        f"fault clause {clause!r}: disrupt factor must be >= 1"
+                    )
             else:
-                raise ValueError(f"unknown fault clause {head!r} in {text!r}")
+                raise FaultPlanError(
+                    f"unknown fault clause {head!r} in {text!r} (known: crash, "
+                    f"transient, delay, straggler, link, disrupt)"
+                )
         return cls(
             seed=seed,
             crashes=tuple(crashes),
             transient_send_p=send_p,
             transient_rma_p=rma_p,
             delay_p=delay_p,
+            straggler_factor=strag_f,
+            straggler_rank=strag_rank,
+            straggler_sleep=strag_sleep,
+            links=tuple(links),
+            disrupt_p=disrupt_p,
+            disrupt_factor=disrupt_f,
         )
 
     def describe(self) -> str:
         parts = []
         for c in self.crashes:
-            rank = "any" if c.rank is None else c.rank
             n = "every" if c.n is None else c.n
-            parts.append(f"crash:rank={rank},at={c.at}:{n}")
+            if c.group is not None:
+                parts.append(f"crash:group={c.group},at={c.at}:{n}")
+            else:
+                rank = "any" if c.rank is None else c.rank
+                parts.append(f"crash:rank={rank},at={c.at}:{n}")
         if self.transient_send_p or self.transient_rma_p:
             parts.append(
                 f"transient:send={self.transient_send_p},rma={self.transient_rma_p}"
             )
         if self.delay_p:
             parts.append(f"delay:p={self.delay_p}")
+        if self.straggling:
+            rank = "any" if self.straggler_rank is None else self.straggler_rank
+            part = f"straggler:factor={self.straggler_factor},rank={rank}"
+            if self.straggler_sleep:
+                part += f",sleep={self.straggler_sleep}"
+            parts.append(part)
+        for src, dst, fa, fb in self.links:
+            s = "*" if src == ANY_RANK else src
+            d = "*" if dst == ANY_RANK else dst
+            parts.append(f"link:src={s},dst={d},alpha={fa},beta={fb}")
+        if self.disrupt_p:
+            parts.append(f"disrupt:p={self.disrupt_p},factor={self.disrupt_factor}")
         return "; ".join(parts) or "(no faults)"
 
 
@@ -192,6 +411,19 @@ class FaultInjector:
     incarnation of the job: after a shrink-and-restart recovery the same
     "process death" does not happen twice (the recovery driver passes
     :meth:`fired_tokens` of the failed attempt forward).
+
+    ``grid`` is the (pr, pc) process-grid shape, required to resolve
+    correlated ``group=row`` / ``group=col`` crash specs.
+
+    Besides the fault decisions the injector keeps the scenario suite's
+    deterministic **model-time ledger**: every priced message adds
+    ``model_factor(src) x LinkModel.message_seconds(src, dst, words)`` to
+    the sender's :attr:`model_seconds` slot.  The counters live here rather
+    than on ``CommStats`` because a crashed attempt's ranks make
+    scheduler-dependent progress before they observe the abort; the only
+    reproducible ledger values are the per-phase-boundary snapshots of a
+    run that *completes* (:attr:`phase_ledger`), which is what the scenario
+    driver prices failed attempts from (via the crash-free twin).
     """
 
     def __init__(
@@ -200,11 +432,23 @@ class FaultInjector:
         nranks: int,
         disarmed: "frozenset | set | None" = None,
         retry: RetryPolicy | None = None,
+        grid: "tuple[int, int] | None" = None,
     ) -> None:
         self.plan = plan
         self.nranks = nranks
         self.disarmed: set = set(disarmed or ())
         self.retry = retry or RetryPolicy()
+        self.grid = grid
+        if grid is not None and grid[0] * grid[1] != nranks:
+            raise ValueError(f"grid {grid} does not cover {nranks} ranks")
+        if grid is None and any(
+            c.group in ("row", "col") for c in plan.crashes
+        ):
+            raise FaultPlanError(
+                "plan uses crash:group=row/col but the injector was built "
+                "without a (pr, pc) grid shape"
+            )
+        self.link_model = LinkModel(degraded=plan.links)
         self._lock = threading.Lock()
         #: crash tokens fired during this job ((spec index, occurrence))
         self.fired: list[tuple[int, int]] = []
@@ -212,14 +456,50 @@ class FaultInjector:
         #: thread — the determinism test compares these across runs
         self.events: list[list[tuple]] = [[] for _ in range(nranks)]
         self._counts: list[dict[str, int]] = [
-            {"send": 0, "collective": 0, "rma": 0} for _ in range(nranks)
+            {"send": 0, "collective": 0, "rma": 0, "phase": 0}
+            for _ in range(nranks)
         ]
+        #: per-rank accumulated model seconds of priced messages
+        self.model_seconds: list[float] = [0.0] * nranks
+        #: phase boundary -> max rank ledger observed entering it.  In a run
+        #: that completes, every rank reaches every boundary, so each value
+        #: is a deterministic max over all ranks — the profile the scenario
+        #: driver uses to price the work a *failed* attempt did before dying
+        #: (the failed attempt's own ledgers are scheduler-racy: whether a
+        #: second victim reaches its death point before the abort unwinds it
+        #: depends on thread timing).
+        self.phase_ledger: dict[int, float] = {}
 
     # -- crash scheduling ----------------------------------------------------
 
     def _victim(self, spec_idx: int, occurrence: int) -> int:
         """Seeded victim rank for a ``rank=any`` crash spec."""
         return _mix(self.plan.seed, _CAT_VICTIM, spec_idx, occurrence) % self.nranks
+
+    def _group_members(self, spec: CrashSpec, spec_idx: int, occurrence: int):
+        """Victim set of one crash occurrence (singleton unless correlated)."""
+        if spec.group is None:
+            rank = spec.rank if spec.rank is not None else self._victim(spec_idx, occurrence)
+            return (rank,)
+        base = spec.group.partition(":")[0]
+        if base == "row":
+            pr, pc = self.grid
+            i = _mix(self.plan.seed, _CAT_GROUP, spec_idx, occurrence) % pr
+            return tuple(range(i * pc, (i + 1) * pc))
+        if base == "col":
+            pr, pc = self.grid
+            j = _mix(self.plan.seed, _CAT_GROUP, spec_idx, occurrence) % pc
+            return tuple(range(j, self.nranks, pc))
+        # clique:K — K distinct seeded ranks
+        k = min(spec.clique_size(), self.nranks)
+        members: list[int] = []
+        draw = 0
+        while len(members) < k:
+            r = _mix(self.plan.seed, _CAT_CLIQUE, spec_idx, occurrence, draw) % self.nranks
+            draw += 1
+            if r not in members:
+                members.append(r)
+        return tuple(sorted(members))
 
     def _check_crash(self, rank: int, kind: str, count: int) -> None:
         for i, spec in enumerate(self.plan.crashes):
@@ -228,11 +508,13 @@ class FaultInjector:
             if spec.n is not None and spec.n != count:
                 continue
             token = (i, count)
-            victim = spec.rank if spec.rank is not None else self._victim(i, count)
-            if victim != rank or token in self.disarmed:
+            if token in self.disarmed:
+                continue
+            if rank not in self._group_members(spec, i, count):
                 continue
             with self._lock:
-                self.fired.append(token)
+                if token not in self.fired:
+                    self.fired.append(token)
             self.events[rank].append(("crash", kind, count))
             raise RankKilledError(
                 f"rank {rank} killed by fault plan (spec #{i}: {kind} #{count}, "
@@ -262,6 +544,59 @@ class FaultInjector:
         """Adopt rank ``rank``'s injected-fault log from its forked copy,
         so the parent's :attr:`events` reads the same on both backends."""
         self.events[rank] = [tuple(e) for e in events]
+
+    def absorb_model(self, rank: int, seconds: float, marks) -> None:
+        """Adopt rank ``rank``'s model-time ledger from its forked copy.
+
+        ``marks`` is the child's :attr:`phase_ledger` — since a forked
+        injector prices exactly one rank, it holds that rank's boundary
+        snapshots, which max-merge into the parent's cross-rank profile."""
+        with self._lock:
+            self.model_seconds[rank] = seconds
+            for phase, led in dict(marks).items():
+                phase = int(phase)
+                if led > self.phase_ledger.get(phase, 0.0):
+                    self.phase_ledger[phase] = float(led)
+
+    # -- scenario adversity (stragglers, disruption, link pricing) ------------
+
+    def straggler_of(self, phase: int) -> int | None:
+        """The straggling rank during MCM phase ``phase`` (None = nobody)."""
+        if not self.plan.straggling:
+            return None
+        if self.plan.straggler_rank is not None:
+            return self.plan.straggler_rank % self.nranks
+        return _mix(self.plan.seed, _CAT_STRAGGLER, phase) % self.nranks
+
+    def phase_disrupted(self, phase: int) -> bool:
+        """Bernoulli draw: is MCM phase ``phase`` a disrupted superstep?"""
+        p = self.plan.disrupt_p
+        return p > 0.0 and _unit(self.plan.seed, _CAT_DISRUPT, phase) < p
+
+    def model_factor(self, rank: int) -> float:
+        """Model-time inflation of ``rank``'s comm ops in its current phase."""
+        phase = self._counts[rank]["phase"]
+        factor = 1.0
+        if self.straggler_of(phase) == rank:
+            factor *= self.plan.straggler_factor
+        if self.phase_disrupted(phase):
+            factor *= self.plan.disrupt_factor
+        return factor
+
+    def wall_delay(self, rank: int) -> float:
+        """Real seconds ``rank`` must sleep before its next comm op."""
+        if self.plan.straggler_sleep <= 0.0:
+            return 0.0
+        phase = self._counts[rank]["phase"]
+        return self.plan.straggler_sleep if self.straggler_of(phase) == rank else 0.0
+
+    def price_message(self, src: int, dst: int, words: int) -> float:
+        """Charge one src → dst message to the sender's model-time ledger."""
+        seconds = self.model_factor(src) * self.link_model.message_seconds(
+            src, dst, words
+        )
+        self.model_seconds[src] += seconds
+        return seconds
 
     # -- per-operation hooks (called from the rank's own thread) --------------
 
@@ -314,12 +649,26 @@ class FaultInjector:
         ``phase`` is the 1-based global phase number about to start, which
         doubles as the occurrence index so ``at=phase:every`` kills one
         seeded rank per boundary, each boundary at most once across
-        restarts.
+        restarts.  Also advances the rank's phase counter for straggler /
+        disruption resolution and logs those adversities into the event
+        stream (determinism witnesses).
         """
+        self._counts[rank]["phase"] = phase
+        with self._lock:
+            # boundary snapshot BEFORE the crash point: even a rank about to
+            # die records the ledger it arrived with
+            led = self.model_seconds[rank]
+            if led > self.phase_ledger.get(phase, 0.0):
+                self.phase_ledger[phase] = led
+        if self.straggler_of(phase) == rank:
+            self.events[rank].append(("straggler", phase))
+        if self.phase_disrupted(phase):
+            self.events[rank].append(("disrupt", phase))
         self._check_crash(rank, "phase", phase)
 
 
 __all__ = [
+    "CRASH_GROUPS",
     "CRASH_KINDS",
     "CrashSpec",
     "FaultInjector",

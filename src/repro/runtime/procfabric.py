@@ -593,6 +593,11 @@ def _rank_child(fabric: ProcessFabric, rank: int, job: SpmdJob, conn) -> None:
         out["fault_events"] = (
             list(fabric.faults.events[rank]) if fabric.faults is not None else []
         )
+        out["fault_model"] = (
+            (fabric.faults.model_seconds[rank], dict(fabric.faults.phase_ledger))
+            if fabric.faults is not None
+            else (0.0, {})
+        )
         try:
             out["pending_coll"] = fabric.pending_collective()
         except Exception:
@@ -705,6 +710,8 @@ class ProcessTransport(Transport):
                 if job.faults is not None:
                     job.faults.absorb_fired(res.get("fired", ()))
                     job.faults.absorb_events(r, res.get("fault_events", ()))
+                    seconds, marks = res.get("fault_model", (0.0, {}))
+                    job.faults.absorb_model(r, seconds, marks)
             phase = fabric.ctl_phase_max()
             if phase >= 0:
                 progress["phase"] = max(progress.get("phase", phase), phase)

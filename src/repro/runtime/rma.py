@@ -24,7 +24,6 @@ cost is 3(α + β) rather than 4(α + β).
 from __future__ import annotations
 
 import threading
-import time
 from dataclasses import dataclass
 from typing import Any
 
@@ -263,9 +262,11 @@ class Window:
                 f" with span {span}, window size {arr.size}"
             )
 
-    def _charge(self, index: Any) -> None:
+    def _charge(self, index: Any) -> int:
+        words = int(np.asarray(index).size)
         self.rma_ops += 1
-        self.rma_words += int(np.asarray(index).size)
+        self.rma_words += words
+        return words
 
     def _track(self, op: str, target: int, index: Any, *, write: bool, atomic: bool) -> None:
         if self._tracker is not None:
@@ -273,10 +274,13 @@ class Window:
                 self.comm.rank, op, target, index, write=write, atomic=atomic
             )
 
-    def _fault_point(self, op: str) -> None:
+    def _fault_point(self, op: str, target: int, words: int) -> None:
         """Injected-fault site for one one-sided op: scheduled crashes
         propagate, transient failures are retried with capped backoff
-        (retries land on ``rma_retries`` and ``comm.stats``)."""
+        (retries land on ``rma_retries`` and ``comm.stats``).  A surviving
+        op is priced into the injector's model-time ledger like a p2p
+        message, and a straggling origin serves its wall-clock stall
+        (both traced through :meth:`Communicator._fault_sleep`)."""
         faults = self.comm.fabric.faults
         if faults is None:
             return
@@ -285,7 +289,7 @@ class Window:
         while True:
             try:
                 faults.on_rma(self.comm.global_rank)
-                return
+                break
             except TransientCommError:
                 attempt += 1
                 self.rma_retries += 1
@@ -296,7 +300,13 @@ class Window:
                         f"{self.win_id} still failing after "
                         f"{policy.max_retries} retries"
                     ) from None
-                time.sleep(policy.delay(attempt))
+                self.comm._fault_sleep(policy.delay(attempt), "retry-backoff")
+        stall = faults.wall_delay(self.comm.global_rank)
+        if stall > 0.0:
+            self.comm._fault_sleep(stall, "straggler")
+        faults.price_message(
+            self.comm.global_rank, self.comm.group[target], words
+        )
 
     def get(self, target: int, index: Any) -> Any:
         """Read element(s) at ``index`` from ``target``'s window memory.
@@ -306,8 +316,8 @@ class Window:
         """
         arr = self._target_array(target)
         self._check_index(arr, index)
-        self._charge(index)
-        self._fault_point("get")
+        words = self._charge(index)
+        self._fault_point("get", target, words)
         self._track("get", target, index, write=False, atomic=False)
         with self._locks[target]:
             out = arr[index]
@@ -317,8 +327,8 @@ class Window:
         """Write ``value`` at ``index`` into ``target``'s window memory."""
         arr = self._target_array(target)
         self._check_index(arr, index)
-        self._charge(index)
-        self._fault_point("put")
+        words = self._charge(index)
+        self._fault_point("put", target, words)
         self._track("put", target, index, write=True, atomic=False)
         with self._locks[target]:
             arr[index] = value
@@ -329,8 +339,8 @@ class Window:
         ``.at`` unbuffered variant (``np.add``, ``np.minimum``, ...)."""
         arr = self._target_array(target)
         self._check_index(arr, index)
-        self._charge(index)
-        self._fault_point("accumulate")
+        words = self._charge(index)
+        self._fault_point("accumulate", target, words)
         self._track("accumulate", target, index, write=True, atomic=True)
         with self._locks[target]:
             op.at(arr, index, value)
@@ -345,8 +355,8 @@ class Window:
         """
         arr = self._target_array(target)
         self._check_index(arr, int(index))
-        self._charge(index)
-        self._fault_point("fetch_and_op")
+        words = self._charge(index)
+        self._fault_point("fetch_and_op", target, words)
         self._track("fetch_and_op", target, index, write=True, atomic=True)
         with self._locks[target]:
             old = arr[index]
@@ -360,8 +370,8 @@ class Window:
         value observed before the operation."""
         arr = self._target_array(target)
         self._check_index(arr, int(index))
-        self._charge(index)
-        self._fault_point("compare_and_swap")
+        words = self._charge(index)
+        self._fault_point("compare_and_swap", target, words)
         self._track("compare_and_swap", target, index, write=True, atomic=True)
         with self._locks[target]:
             old = arr[index]

@@ -47,6 +47,7 @@ from ..matching.maximal_rounds import (
 )
 from ..matching.msbfs import MatchingStats, MsBfsHooks, ms_bfs_mcm
 from ..perfmodel import EDISON, BspClock, Category, MachineSpec, collectives as C
+from ..perfmodel.links import LinkModel
 from ..perfmodel.machine import GridShape
 from ..sparse.coo import COO
 from ..sparse.csc import CSC
@@ -230,6 +231,7 @@ class _Pricer:
         alltoall: str = "bruck",
         allgather: str = "doubling",
         allreduce: str = "doubling",
+        links: "LinkModel | None" = None,
     ) -> None:
         self.t = trace
         self.m = machine
@@ -250,6 +252,23 @@ class _Pricer:
         self.ab_P = self.clock.alpha_beta_for(self.P)
         self.ab_pr = self.clock.alpha_beta_for(pr)
         self.ab_pc = self.clock.alpha_beta_for(pc)
+        if links is not None and links.damaged:
+            # degraded links inflate each communicator's (α, β) by its worst
+            # member edge (slowest-participant rule).  Column communicators
+            # have pr members (ranks j, j+pc, ...), row communicators pc
+            # members (ranks i*pc .. i*pc+pc-1); the worst group of each
+            # shape governs, since the BSP step waits for every subgrid.
+            self.ab_P = C.degraded_params(*self.ab_P, links, range(self.P))
+            col_groups = [range(j, self.P, pc) for j in range(pc)]
+            row_groups = [range(i * pc, (i + 1) * pc) for i in range(pr)]
+            self.ab_pr = max(
+                (C.degraded_params(*self.ab_pr, links, g) for g in col_groups),
+                key=lambda ab: ab[0] + ab[1],
+            )
+            self.ab_pc = max(
+                (C.degraded_params(*self.ab_pc, links, g) for g in row_groups),
+                key=lambda ab: ab[0] + ab[1],
+            )
 
     # -- rank maps (vectorized) -------------------------------------------------
 
@@ -426,6 +445,7 @@ def price(
     alltoall: str = "bruck",
     allgather: str = "doubling",
     allreduce: str = "doubling",
+    links: "LinkModel | None" = None,
 ) -> SimResult:
     """Price a recorded trace at one (cores, threads) configuration.
 
@@ -433,10 +453,15 @@ def price(
     algorithms: the defaults ("bruck"/"doubling"/"doubling") model the
     latency-aware engine of :mod:`repro.runtime.comm`;
     "pairwise"/"ring"/"reduce_bcast" reproduce the paper's worst-case
-    Section IV-B bounds.
+    Section IV-B bounds.  ``links`` (a
+    :class:`~repro.perfmodel.links.LinkModel`) prices the run on a damaged
+    fabric: each communicator's (α, β) inflates by its worst degraded
+    member edge.
     """
     grid = machine.square_grid(cores, threads)
-    clock = _Pricer(trace, machine, grid, alltoall, allgather, allreduce).price()
+    clock = _Pricer(
+        trace, machine, grid, alltoall, allgather, allreduce, links
+    ).price()
     return SimResult(
         cores=cores,
         threads=threads,

@@ -179,11 +179,28 @@ def analyze(trace: DistTrace, top: int = 5) -> dict:
         key=lambda d: -d["self"],
     )[:top]
 
+    # fault:delay spans are injected-sleep markers (retry backoff, straggler
+    # stalls) — there can be thousands, so they aggregate into an adversity
+    # rollup instead of flooding the per-event fault listing
     faults = sorted(
         ({"name": sp.name, "rank": sp.rank, "ts": sp.ts, "args": dict(sp.args)}
-         for sp in trace.all_spans() if sp.cat == "fault"),
+         for sp in trace.all_spans()
+         if sp.cat == "fault" and sp.name != "fault:delay"),
         key=lambda d: (d["ts"], d["rank"]),
     )
+    adversity: dict[str, dict] = {}
+    for sp in trace.all_spans():
+        if sp.cat != "fault" or sp.name != "fault:delay":
+            continue
+        category = str(sp.args.get("category", "?"))
+        acc = adversity.setdefault(
+            category, {"seconds": 0.0, "count": 0, "by_rank": {}}
+        )
+        seconds = float(sp.args.get("seconds", sp.dur))
+        acc["seconds"] += seconds
+        acc["count"] += 1
+        rank = int(sp.args.get("rank", sp.rank))
+        acc["by_rank"][rank] = acc["by_rank"].get(rank, 0.0) + seconds
 
     return {
         "nranks": trace.nranks,
@@ -195,6 +212,7 @@ def analyze(trace: DistTrace, top: int = 5) -> dict:
         "phases": phases,
         "top_spans": top_spans,
         "faults": faults,
+        "adversity": adversity,
         "comm_words_by_op": trace.comm_words_by_op(),
     }
 
@@ -245,6 +263,18 @@ def format_report(rep: dict) -> str:
         out.append("faults / restarts:")
         for f in rep["faults"]:
             out.append(f"  t={_fmt_t(f['ts'])} rank {f['rank']}: {f['name']}")
+
+    adversity = rep.get("adversity") or {}
+    if adversity:
+        out.append("")
+        out.append("injected adversity time:")
+        for category, acc in sorted(adversity.items()):
+            worst = max(acc["by_rank"], key=lambda r: acc["by_rank"][r])
+            out.append(
+                f"  {category:<16} {acc['seconds']:>10.4f}s over "
+                f"{acc['count']:>6} sleep(s); worst rank {worst} "
+                f"({acc['by_rank'][worst]:.4f}s)"
+            )
 
     words = rep["comm_words_by_op"]
     if words:
