@@ -145,6 +145,11 @@ def cmd_spmd(args) -> int:
     coo = _load_input(args)
     init = args.init if args.init in ("greedy", "mindegree") else "none"
     trace = args.trace_clock if args.trace else False
+    comm_config = None
+    if args.aggregate == "off":
+        from .runtime.comm import CollectiveConfig
+
+        comm_config = CollectiveConfig(aggregate=False)
     if args.chaos is not None:
         from .runtime import FaultPlan, FileCheckpointStore, run_mcm_dist_resilient
 
@@ -159,6 +164,7 @@ def cmd_spmd(args) -> int:
             max_restarts=args.max_restarts,
             timeout=args.timeout,
             verify=args.verify,
+            comm_config=comm_config,
             trace=trace,
             backend=args.backend,
         )
@@ -172,6 +178,7 @@ def cmd_spmd(args) -> int:
             direction=args.direction,
             timeout=args.timeout,
             verify=args.verify,
+            comm_config=comm_config,
             trace=trace,
             backend=args.backend,
         )
@@ -287,6 +294,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "one interpreter (default), 'process' forks one OS "
                         "process per rank with shared-memory rings "
                         "(default: $REPRO_SPMD_BACKEND or thread)")
+    p.add_argument("--aggregate", default="on", choices=["on", "off"],
+                   help="superstep message coalescing: 'on' (default) batches "
+                        "every payload toward a peer into one framed buffer "
+                        "per flush point, 'off' ships each logical message "
+                        "individually (mate vectors and the logical ledger "
+                        "are bit-identical either way)")
     p.add_argument("--verify", action="store_true",
                    help="arm the dynamic verifiers: cross-check every collective "
                         "entry across ranks and race-check every RMA access")

@@ -232,6 +232,33 @@ def direction_edge_counts(
     return int(both[0]), int(both[1])
 
 
+def direction_edge_counts_begin(
+    A: DistSparseMatrix,
+    fc: DistVertexFrontier,
+    pi_r: DistDenseVec,
+):
+    """Nonblocking half of :func:`direction_edge_counts`: post the 2-word
+    edge-count ``iallreduce`` and return its request.
+
+    The BFS loop posts this at the tail of one superstep — the moment the
+    next frontier and the final ``π_r`` exist, so the counts are exactly
+    the ones the blocking call would compute at the next head — and waits
+    it with :func:`direction_edge_counts_finish` after the next superstep's
+    expand is underway.  That window is the fold/expand overlap the
+    nonblocking engine exists for."""
+    degr_sub, degc_sub = A.degree_slices()
+    td = int(degc_sub[fc.idx - fc.lo].sum())
+    bu = int(degr_sub[pi_r.local == NULL].sum())
+    return A.grid.comm.iallreduce(np.array([td, bu], dtype=np.int64), op=SUM)
+
+
+def direction_edge_counts_finish(req) -> tuple[int, int]:
+    """Wait the request from :func:`direction_edge_counts_begin`; returns
+    the global (top-down, bottom-up) edge counts."""
+    both = req.wait()
+    return int(both[0]), int(both[1])
+
+
 def spmv_local_work(A: DistSparseMatrix, fc: DistVertexFrontier) -> int:
     """Edge operations this rank's block performs for the given frontier
     (after expand) — the measured F term of the cost model."""

@@ -40,6 +40,8 @@ from ..distmat.grid import ProcGrid
 from ..distmat.ops import (
     allgather_values,
     direction_edge_counts,
+    direction_edge_counts_begin,
+    direction_edge_counts_finish,
     invert_route,
     route,
     spmv,
@@ -48,6 +50,7 @@ from ..distmat.ops import (
 from ..distmat.spmat import DistSparseMatrix
 from ..runtime import Window, spmd
 from ..runtime.checkpoint import Checkpoint, CheckpointStore
+from ..runtime.rma import fence_all, free_all
 from ..runtime.comm import SUM, Communicator
 from ..runtime.trace import tspan
 from ..sparse.coo import COO
@@ -80,6 +83,15 @@ class DistStats:
     #: the grid/row/column communicators: ``{"op:alg": {"calls", "messages",
     #: "words", "steps"}}`` (see :attr:`repro.runtime.comm.CommStats.by_alg`)
     comm_by_alg: "dict[str, dict[str, int]] | None" = None
+    #: the logical/physical ledger split of the aggregation engine, summed
+    #: over all ranks and communicators: ``comm_messages`` counts every
+    #: message of the logical (round-based) schedule — the number BENCH
+    #: gates and the trace cross-check price — while ``frames`` counts the
+    #: coalesced deposits/ring writes that actually crossed the fabric
+    #: (``frames == comm_messages`` with ``aggregate=False``)
+    comm_messages: int = 0
+    frames: int = 0
+    frame_words: int = 0
     #: recovery counters, filled by ``run_mcm_dist_resilient``: fabric
     #: rebuilds after failures, completed phases re-executed because they
     #: post-dated the restart checkpoint, and 8-byte words written to the
@@ -357,7 +369,10 @@ def augment_path_spmd_rma(
     win_pi = Window(grid.comm, pi_r.local)
     win_mr = Window(grid.comm, mate_r.local)
     win_mc = Window(grid.comm, mate_c.local)
-    win_pi.fence(); win_mr.fence(); win_mc.fence()
+    windows = [win_pi, win_mr, win_mc]
+    # fused epoch management: logically three fences / three frees, but the
+    # epoch barriers ride one physical star wave each under aggregation
+    fence_all(windows)
     for r0 in np.asarray(start_rows, np.int64).tolist():
         r = int(r0)
         while r != NULL:
@@ -366,8 +381,8 @@ def augment_path_spmd_rma(
             win_mr.put(rank, off, c)                 # MPI_Put(mate_r[r] = c)
             crank, coff = mate_c.remote_location(c)
             r = int(win_mc.fetch_and_op(crank, coff, r))  # fused read-old/put-new
-    win_pi.fence(); win_mr.fence(); win_mc.fence()
-    win_pi.free(); win_mr.free(); win_mc.free()
+    fence_all(windows)
+    free_all(windows)
 
 
 # ---------------------------------------------------------------------------
@@ -505,6 +520,10 @@ def mcm_dist_spmd(
             lcols = np.flatnonzero(mate_c.local == NULL) + mate_c.lo
             fc = DistVertexFrontier(grid, A.ncols, "col", lcols, lcols, lcols)
 
+            # in-flight edge-count iallreduce (direction="auto"): posted at
+            # each superstep's tail, waited at the next head, so its hub
+            # fold/down-leg overlaps the frontier-count exchange between them
+            dir_req = None
             while fc.global_nnz() > 0:
                 stats.iterations += 1
                 with tspan(grid.comm, "bfs_iter", cat="phase", iter=stats.iterations):
@@ -514,7 +533,11 @@ def mcm_dist_spmd(
                     td_local = int(degc_sub[fc.idx - fc.lo].sum())
                     bu_local = int(degr_sub[pi_r.local == NULL].sum())
                     if direction == "auto":
-                        td_g, bu_g = direction_edge_counts(A, fc, pi_r)
+                        if dir_req is None:  # first superstep of the phase
+                            td_g, bu_g = direction_edge_counts(A, fc, pi_r)
+                        else:
+                            td_g, bu_g = direction_edge_counts_finish(dir_req)
+                            dir_req = None
                         use_bu = bu_g < td_g
                     else:
                         use_bu = direction == "bottomup"
@@ -564,6 +587,17 @@ def mcm_dist_spmd(
                     fc = DistVertexFrontier(
                         grid, A.ncols, "col", nc[order], nc[order], nroot[order]
                     )
+                    # superstep tail: the next frontier and the final π_r of
+                    # this iteration exist, so the next head's direction
+                    # counts can already be in flight (overlap window spans
+                    # the global_nnz exchange of the loop condition)
+                    if direction == "auto":
+                        dir_req = direction_edge_counts_begin(A, fc, pi_r)
+            if dir_req is not None:
+                # the tail post of the last superstep: a collective every
+                # rank entered, so every rank must complete it
+                direction_edge_counts_finish(dir_req)
+                dir_req = None
 
             # phase end: augment by all discovered paths (my local path ends)
             local_rows = path_c.local[path_c.local != NULL]
@@ -618,7 +652,21 @@ def mcm_dist_spmd(
     # ``comm_by_alg`` with ZERO extra communication: the executor already
     # returns every rank's values.
     stats.comm_by_alg = _local_by_alg(grid)
+    stats.comm_messages, stats.frames, stats.frame_words = _local_physical(grid)
     return g_r, g_c, stats
+
+
+def _local_physical(grid: ProcGrid) -> tuple[int, int, int]:
+    """This rank's (logical messages, physical frames, frame words) summed
+    over the job's three communicators — snapshotted at the same no-more-
+    traffic point as :func:`_local_by_alg`, so frames account for every
+    flush of the job."""
+    msgs = frames = fwords = 0
+    for c in (grid.colcomm, grid.rowcomm, grid.comm):
+        msgs += c.stats.messages_sent
+        frames += c.stats.frames
+        fwords += c.stats.frame_words
+    return msgs, frames, fwords
 
 
 def _local_by_alg(grid: ProcGrid) -> dict[str, dict[str, int]]:
@@ -648,6 +696,14 @@ def merge_by_alg(rank_values) -> dict[str, dict[str, int]]:
             for field_name, v in d.items():
                 agg[field_name] += v
     return merged
+
+
+def merge_physical(stats: DistStats, rank_values) -> None:
+    """Driver-side fold of the per-rank logical/physical ledgers onto the
+    reported ``stats`` (companion of :func:`merge_by_alg`)."""
+    stats.comm_messages = sum(st.comm_messages for _, _, st in rank_values)
+    stats.frames = sum(st.frames for _, _, st in rank_values)
+    stats.frame_words = sum(st.frame_words for _, _, st in rank_values)
 
 
 def _mcm_rank_main(comm: Communicator, coo: COO, pr: int, pc: int, **mcm_kwargs):
@@ -713,6 +769,7 @@ def run_mcm_dist(
     )
     mate_r, mate_c, stats = result[0]
     stats.comm_by_alg = merge_by_alg(result.values)
+    merge_physical(stats, result.values)
     stats.verify_summary = result.verify_summary
     if result.trace is not None:
         stats.trace = result.trace

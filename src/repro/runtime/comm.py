@@ -30,6 +30,25 @@ construction.  The matching cost *formulas* live in
 same communication patterns, so integration tests can check that measured
 message counts equal the model's predictions.  :attr:`CommStats.by_alg`
 counts calls/messages/words/steps per (collective, algorithm) pair.
+
+Superstep aggregation (``CollectiveConfig.aggregate``, default on) splits
+the ledger in two.  The **logical** ledger above is invariant: counters,
+``by_alg``, trace spans and every fault-injection hook fire per logical
+message of the selected algorithm, whether or not that message travels
+individually.  The **physical** ledger (:attr:`CommStats.frames` /
+``frame_words``) counts what actually hits the fabric: a per-destination
+coalescer batches every payload a rank emits toward a peer between two
+blocking points into one framed buffer — a single mailbox deposit on the
+thread fabric, a single ring write (one codec pass) on the process
+backend.  The four rootless round-based collectives (barrier, doubling
+allreduce, dissemination allgather, pairwise alltoall) additionally swap
+their physical schedule for a hub star wave through comm rank 0 — 2(p-1)
+frames per call instead of ~p·⌈log₂p⌉ messages — while replaying the
+round-based schedule's exact per-message ledger analytically.  Flush
+points are deterministic (entry to any blocking receive, every collective
+boundary, :meth:`Communicator.flush_sends`), so frame counts are
+reproducible and benchmarkable.  ``aggregate=False`` restores
+message-per-deliver transport; results are bit-identical either way.
 """
 
 from __future__ import annotations
@@ -100,16 +119,28 @@ class CollectiveConfig:
     payload size below which one extra message costs more than the extra
     volume.  ``pack``/``bitmap_frontiers`` gate the zero-copy payload
     packing and bitmap frontier encodings in :mod:`repro.distmat.ops`.
+
+    ``aggregate`` turns on the superstep coalescer and the hub physical
+    plans (see the module docstring): logical ledgers, results and fault
+    replay are bit-identical either way, only the physical frame schedule
+    changes.  ``alltoall`` defaults to ``"pairwise"`` rather than
+    ``"auto"``: Bruck's store-and-forward rounds make every rank's logical
+    word count depend on payload sizes it only learns by moving the data
+    exactly as Bruck does, so the aggregated planner cannot replay its
+    ledger analytically — and pairwise is what the hub plan collapses to
+    2(p-1) frames anyway.  Pin ``"auto"`` or ``"bruck"`` to get the old
+    selector (those calls then run physical = logical).
     """
 
     bcast: str = "auto"
     reduce: str = "auto"
     allreduce: str = "auto"
     allgather: str = "auto"
-    alltoall: str = "auto"
+    alltoall: str = "pairwise"
     alpha_words: float = 48.0
     pack: bool = True
     bitmap_frontiers: bool = True
+    aggregate: bool = True
 
     def __post_init__(self) -> None:
         for op, choices in _CONFIG_CHOICES.items():
@@ -135,6 +166,7 @@ NAIVE_CONFIG = CollectiveConfig(
     alltoall="pairwise",
     pack=False,
     bitmap_frontiers=False,
+    aggregate=False,
 )
 
 
@@ -153,12 +185,25 @@ class CommStats:
     ``{"op:alg": {"calls", "messages", "words", "steps"}}`` where ``steps``
     is the algorithm's sequential round count (the latency term the α-β
     model charges), identical on every rank.
+
+    ``messages_sent``/``words_sent``/``by_op``/``by_alg`` are the
+    **logical** ledger: they count the selected algorithm's schedule and
+    are invariant under aggregation.  ``frames``/``frame_words`` are the
+    **physical** ledger: actual fabric deposits/ring writes.  With
+    aggregation off every message is its own frame (``frames ==
+    messages_sent``); with it on, coalescing and the hub plans drive
+    ``frames`` well below ``messages_sent`` — the quantity BENCH gates on.
     """
 
     messages_sent: int = 0
     words_sent: int = 0
     by_op: dict[str, int] = field(default_factory=dict)
     by_alg: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: physical frames this rank put on the fabric, and the payload words
+    #: they carried (>= words_sent under the hub plans: star waves move
+    #: some payloads twice, trading words for a large frame reduction)
+    frames: int = 0
+    frame_words: int = 0
     #: total transient-failure retries and their per-op breakdown (only
     #: nonzero under fault injection; logical message counts above are
     #: unaffected by retries — a retried send still counts once)
@@ -182,6 +227,11 @@ class CommStats:
         d["messages"] += messages
         d["words"] += words
         d["steps"] += steps
+
+    def record_frame(self, words: int) -> None:
+        """Count one physical frame carrying ``words`` payload words."""
+        self.frames += 1
+        self.frame_words += words
 
     def record_retry(self, op: str) -> None:
         self.retries += 1
@@ -236,6 +286,157 @@ def _freeze(payload: Any) -> Any:
     return copy.deepcopy(payload)
 
 
+def _doubling_fold(vals: "list[Any]", op: "ReduceOp") -> Any:
+    """Fold ``vals`` with the exact reduction tree recursive doubling
+    evaluates (fold-in pairs, then a balanced tree with the lower rank's
+    contribution on the left).  The aggregated allreduce hub uses this so
+    its result is bit-identical to the unaggregated schedule for *any*
+    operator, order-sensitive float sums included."""
+    p = len(vals)
+    if p == 1:
+        return vals[0]
+    pof2 = 1 << (p.bit_length() - 1)
+    rem = p - pof2
+    core = [op(vals[2 * i], vals[2 * i + 1]) for i in range(rem)]
+    core.extend(vals[2 * rem:])
+    while len(core) > 1:
+        core = [op(core[i], core[i + 1]) for i in range(0, len(core), 2)]
+    return core[0]
+
+
+class Request:
+    """Waitable handle of a nonblocking operation (``isend``/``irecv``/
+    ``iallreduce``).
+
+    ``wait()`` blocks until completion and returns the operation's value
+    (``None`` for sends); ``test()`` is a nonblocking completion poll.
+    Collective requests follow MPI discipline: every rank of the
+    communicator must post and wait them in the same order relative to
+    its other collectives.
+    """
+
+    def test(self) -> bool:  # pragma: no cover - interface default
+        return True
+
+    def wait(self) -> Any:  # pragma: no cover - interface default
+        return None
+
+
+class _DoneRequest(Request):
+    """Already-complete request (buffered isend, singleton collectives)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: Any = None) -> None:
+        self._value = value
+
+    def test(self) -> bool:
+        return True
+
+    def wait(self) -> Any:
+        return self._value
+
+
+class _DeferredRequest(Request):
+    """Runs the full blocking operation at ``wait()`` — the unaggregated
+    (or pinned-algorithm) fallback, so ledgers total identically to the
+    blocking call they defer."""
+
+    __slots__ = ("_run", "_done", "_value")
+
+    def __init__(self, run: "Callable[[], Any]") -> None:
+        self._run = run
+        self._done = False
+        self._value = None
+
+    def test(self) -> bool:
+        return self._done
+
+    def wait(self) -> Any:
+        if not self._done:
+            self._value = self._run()
+            self._run = None
+            self._done = True
+        return self._value
+
+
+class _RecvRequest(Request):
+    """Nonblocking receive: completion is a mailbox probe."""
+
+    __slots__ = ("_comm", "_source", "_tag", "_done", "_value")
+
+    def __init__(self, comm: "Communicator", source: int, tag: int) -> None:
+        self._comm = comm
+        self._source = source
+        self._tag = tag
+        self._done = False
+        self._value = None
+
+    def test(self) -> bool:
+        if not self._done and self._comm.probe(self._source, self._tag):
+            self._value = self._comm.recv(self._source, self._tag)
+            self._done = True
+        return self._done
+
+    def wait(self) -> Any:
+        if not self._done:
+            self._value = self._comm.recv(self._source, self._tag)
+            self._done = True
+        return self._value
+
+
+class _AllreduceRequest(Request):
+    """In-flight aggregated allreduce: the up-leg of the star wave (and the
+    full logical ledger) happened at post; ``wait()`` runs the hub fold and
+    the down-leg.  The overlap window is everything the rank does between
+    post and wait."""
+
+    __slots__ = ("_comm", "_seq", "_op", "_own", "_done", "_value")
+
+    def __init__(self, comm: "Communicator", seq: int, op: "ReduceOp", own: Any) -> None:
+        self._comm = comm
+        self._seq = seq
+        self._op = op
+        self._own = own
+        self._done = False
+        self._value = None
+
+    def test(self) -> bool:
+        comm = self._comm
+        if not self._done and comm.rank != 0:
+            tag = comm._coll_tag(self._seq)
+            if comm.fabric.probe(comm.global_rank, comm.group[0], tag):
+                self.wait()
+        return self._done
+
+    def wait(self) -> Any:
+        if self._done:
+            return self._value
+        comm = self._comm
+        p, r = comm.size, comm.rank
+        if r == 0:
+            vals: list[Any] = [None] * p
+            vals[0] = self._own
+            for _ in range(p - 1):
+                src, item = comm._coll_recv_any("allreduce", self._seq)
+                vals[src] = item
+            acc = _doubling_fold(vals, self._op)
+            for dst in range(1, p):
+                comm._phys_send(dst, acc, "allreduce", self._seq)
+            comm._flush_frames()
+            self._value = acc
+        else:
+            self._value = comm._coll_recv(0, "allreduce", self._seq)
+        self._own = None
+        self._done = True
+        return self._value
+
+
+def wait_all(requests: "Sequence[Request]") -> list[Any]:
+    """Wait every request, returning their values in order."""
+    return [req.wait() for req in requests]
+
+
 class Communicator:
     """The per-rank handle of one process group.
 
@@ -270,6 +471,14 @@ class Communicator:
         self._coll_seq = 0
         if self.group[rank] < 0 or self.group[rank] >= fabric.nranks:
             raise ValueError("communicator group contains out-of-range fabric rank")
+        # Per-rank coalescer outbox: dest global rank -> list of pending
+        # (tag, payload, reorder_u, words).  Shared with every communicator
+        # of this rank via the fabric (split children flush the same box),
+        # with a private fallback for duck-typed fabrics in unit tests.
+        boxes = getattr(fabric, "_outboxes", None)
+        self._outbox: dict[int, list] = (
+            {} if boxes is None else boxes[self.group[rank]]
+        )
 
     # -- point to point -----------------------------------------------------
 
@@ -324,26 +533,43 @@ class Communicator:
         )
 
     def _deliver_with_faults(
-        self, dest_global: int, tag: int, payload: Any, op: str, words: int = 0
+        self, dest_global: int, tag: int, payload: Any, op: str,
+        words: int = 0, defer: bool = False,
     ) -> None:
         """Deliver one envelope, absorbing injected transient failures.
 
         With no injector armed this is a single attribute check plus the
-        plain ``Fabric.deliver`` — the zero-cost-when-disabled path.  Under
-        injection, transient send failures are retried with capped
-        exponential backoff and counted on :class:`CommStats`; a send still
-        failing after the retry budget re-raises
-        :class:`TransientCommError` as a permanent failure.  Each message
-        that does go out is priced into the injector's deterministic
-        model-time ledger (straggler/disruption factors x degraded-link
-        α-β), and a straggling rank additionally serves its wall-clock
-        stall here.
+        dispatch — the zero-cost-when-disabled path.  Under injection the
+        full per-message fault protocol (:meth:`_fault_effects`) runs
+        first.  ``defer=True`` routes the envelope through the coalescer
+        outbox when aggregation is on (collective and isend traffic);
+        ``defer=False`` keeps eager per-message delivery (blocking p2p
+        ``send``, whose latency contract peers may rely on).
         """
-        fabric = self.fabric
-        faults = fabric.faults
+        faults = self.fabric.faults
         if faults is None:
-            fabric.deliver(self.global_rank, dest_global, tag, payload)
+            self._dispatch(dest_global, tag, payload, None, words, defer)
             return
+        reorder_u = self._fault_effects(op, dest_global, words)
+        self._dispatch(dest_global, tag, payload, reorder_u, words, defer)
+
+    def _fault_effects(self, op: str, dest_global: int, words: int) -> "float | None":
+        """Run the injector's per-message protocol for one *logical*
+        message and return its reorder draw.
+
+        Transient send failures are retried with capped exponential
+        backoff and counted on :class:`CommStats`; a send still failing
+        after the retry budget re-raises :class:`TransientCommError` as a
+        permanent failure.  Each message that survives is priced into the
+        injector's deterministic model-time ledger (straggler/disruption
+        factors x degraded-link α-β), and a straggling rank additionally
+        serves its wall-clock stall here.  The aggregated physical plans
+        call this once per message of the *logical* schedule (via
+        :meth:`_logical_send`), so fault decision streams, retries and
+        model time replay bit-for-bit whether or not the message travels
+        individually.
+        """
+        faults = self.fabric.faults
         policy = faults.retry
         attempt = 0
         while True:
@@ -364,22 +590,108 @@ class Communicator:
             if stall > 0.0:
                 self._fault_sleep(stall, "straggler")
             faults.price_message(self.global_rank, dest_global, words)
-            fabric.deliver(self.global_rank, dest_global, tag, payload, reorder_u)
+            return reorder_u
+
+    def _dispatch(
+        self, dest_global: int, tag: int, payload: Any,
+        reorder_u: "float | None", words: int, defer: bool,
+    ) -> None:
+        """Physical send: enqueue into the coalescer (deferred, aggregated)
+        or deliver immediately as a single-message frame."""
+        if defer and self.config.aggregate:
+            self._outbox.setdefault(dest_global, []).append(
+                (tag, payload, reorder_u, words)
+            )
             return
+        self.stats.record_frame(words)
+        self.fabric.deliver(self.global_rank, dest_global, tag, payload, reorder_u)
+
+    def _flush_frames(self) -> None:
+        """Flush the coalescer: one frame per pending destination.
+
+        Deterministic call sites only — entry to any blocking receive,
+        every collective boundary (:meth:`_end_alg`), the hub side of a
+        star wave, and :meth:`flush_sends` — so physical frame counts are
+        reproducible run to run.  Emits one ``comm:flush`` span
+        (``cat="flush"``) whose words equal the frame-ledger delta.
+        """
+        box = self._outbox
+        if not box:
+            return
+        items = list(box.items())
+        box.clear()
+        tr = self.tracer
+        t0 = tr.now() if tr is not None else 0.0
+        fabric = self.fabric
+        deliver_frame = getattr(fabric, "deliver_frame", None)
+        stats = self.stats
+        nmsgs = 0
+        nwords = 0
+        for dest, entries in items:
+            words = 0
+            for entry in entries:
+                words += entry[3]
+            if deliver_frame is not None:
+                deliver_frame(
+                    self.global_rank, dest,
+                    [(tag, payload, u) for (tag, payload, u, _) in entries],
+                )
+            else:  # duck-typed fabric without frame transport
+                for tag, payload, u, _ in entries:
+                    fabric.deliver(self.global_rank, dest, tag, payload, u)
+            stats.record_frame(words)
+            nmsgs += len(entries)
+            nwords += words
+        if tr is not None:
+            tr.add_complete(
+                "comm:flush", ts=t0, dur=tr.now() - t0, cat="flush",
+                frames=len(items), messages=nmsgs, words=nwords,
+            )
+
+    def flush_sends(self) -> None:
+        """Flush any coalesced frames still pending toward peers.
+
+        The transports call this when a rank's SPMD function returns (the
+        end-of-program safety point); user code only needs it to push out
+        ``isend`` tails before a long non-communicating stretch.
+        """
+        self._flush_frames()
+
+    def _collect(self, src_global: int, tag: int) -> Any:
+        """Blocking receive entry: pending coalesced frames are flushed
+        first — a blocked rank must never sit on traffic its peers need
+        in order to make progress."""
+        if self._outbox:
+            self._flush_frames()
+        return self.fabric.collect(self.global_rank, src_global, tag)
+
+    def _logical_send(self, op: str, dest: int, words: int) -> None:
+        """Ledger one message of an unaggregated schedule the physical
+        plan replaces: logical counters and the full per-message fault
+        protocol fire exactly as the round-based send would; only the
+        physical delivery is elided.  ``dest`` is a communicator rank (the
+        injector prices per link, so destinations must match the logical
+        schedule's)."""
+        stats = self.stats
+        stats.messages_sent += 1
+        stats.words_sent += words
+        stats.by_op[op] = stats.by_op.get(op, 0) + 1
+        if self.fabric.faults is not None:
+            self._fault_effects(op, self.group[dest], words)
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
         """Block until a message matching (source, tag) arrives; return its
         payload.  ``source`` is a communicator rank or ``ANY_SOURCE``."""
         _check_user_tag(tag, wildcard_ok=True)
         src_global = ANY_SOURCE if source == ANY_SOURCE else self.group[source]
-        env = self.fabric.collect(self.global_rank, src_global, tag)
+        env = self._collect(src_global, tag)
         return env.payload
 
     def recv_with_status(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> tuple[Any, int, int]:
         """Like :meth:`recv` but also return ``(payload, source_rank, tag)``."""
         _check_user_tag(tag, wildcard_ok=True)
         src_global = ANY_SOURCE if source == ANY_SOURCE else self.group[source]
-        env = self.fabric.collect(self.global_rank, src_global, tag)
+        env = self._collect(src_global, tag)
         try:
             src_local = self.group.index(env.source)
         except ValueError:  # message from outside the group (shouldn't happen)
@@ -388,8 +700,37 @@ class Communicator:
 
     def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
         _check_user_tag(tag, wildcard_ok=True)
+        if self._outbox:
+            self._flush_frames()  # liveness: a probe loop must not hold traffic
         src_global = ANY_SOURCE if source == ANY_SOURCE else self.group[source]
         return self.fabric.probe(self.global_rank, src_global, tag)
+
+    def isend(self, dest: int, payload: Any, tag: int = 0) -> "Request":
+        """Nonblocking buffered send: the payload is captured (copied)
+        immediately, so the returned request is already complete and the
+        buffer is reusable — MPI buffered-mode semantics.  Under
+        aggregation the message rides in this rank's next coalesced frame
+        to ``dest``, leaving at the next blocking call, collective
+        boundary, or :meth:`flush_sends`."""
+        _check_user_tag(tag, wildcard_ok=False)
+        tok = self._trace_begin("isend", dest=dest, tag=tag)
+        before = self._begin_alg()
+        # Always freeze: with a deferred (coalesced) encode, even the
+        # serializing fabric's wire copy happens after this call returns.
+        payload = _freeze(payload)
+        words = self.stats.record("p2p", payload)
+        self._deliver_with_faults(
+            self.group[dest], tag, payload, "p2p", words, defer=True
+        )
+        self._end_alg("isend", "p2p", before, 1, flush=False)
+        self._trace_end(tok, "p2p", 1)
+        return _DoneRequest()
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> "Request":
+        """Nonblocking receive: ``test()`` probes, ``wait()`` blocks and
+        returns the payload."""
+        _check_user_tag(tag, wildcard_ok=True)
+        return _RecvRequest(self, source, tag)
 
     def sendrecv(self, dest: int, payload: Any, source: int, tag: int = 0) -> Any:
         """Combined exchange: send to ``dest`` and receive from ``source``.
@@ -410,6 +751,10 @@ class Communicator:
         return _RESERVED_TAG_BASE + (self.comm_id << 32) + seq
 
     def _coll_send(self, dest: int, payload: Any, opname: str, seq: int) -> None:
+        # Deferred dispatch is safe without an extra freeze on serializing
+        # fabrics: collective traffic is always flushed before the call
+        # returns (its own receives, or the _end_alg boundary), so no user
+        # code can mutate the payload between enqueue and wire encode.
         words = self.stats.record(opname, payload)
         self._deliver_with_faults(
             self.group[dest],
@@ -420,11 +765,26 @@ class Communicator:
              payload if self.fabric.serializes else _freeze(payload)),
             opname,
             words,
+            defer=True,
+        )
+
+    def _phys_send(self, dest: int, body: Any, opname: str, seq: int) -> None:
+        """One physical-plan message: enqueued into the coalescer with the
+        collective's tag/wrapper but NO logical-ledger or fault effects —
+        those replay separately via :meth:`_logical_send`."""
+        self._dispatch(
+            self.group[dest],
+            self._coll_tag(seq),
+            (opname, self.comm_id, seq,
+             body if self.fabric.serializes else _freeze(body)),
+            None,
+            _payload_words(body),
+            defer=True,
         )
 
     def _coll_recv(self, source: int, opname: str, seq: int) -> Any:
         src_global = self.group[source]
-        env = self.fabric.collect(self.global_rank, src_global, self._coll_tag(seq))
+        env = self._collect(src_global, self._coll_tag(seq))
         got_op, got_comm, got_seq, payload = env.payload
         if got_op != opname or got_comm != self.comm_id or got_seq != seq:
             raise CollectiveMismatchError(
@@ -433,6 +793,44 @@ class Communicator:
                 f"(comm {got_comm}): ranks entered different collectives"
             )
         return payload
+
+    def _coll_recv_any(self, opname: str, seq: int) -> Any:
+        """Hub-side receive of one star-wave up message (any source)."""
+        env = self._collect(ANY_SOURCE, self._coll_tag(seq))
+        got_op, got_comm, got_seq, body = env.payload
+        if got_op != opname or got_comm != self.comm_id or got_seq != seq:
+            raise CollectiveMismatchError(
+                f"hub of {opname}#{seq} (comm {self.comm_id}) received "
+                f"{got_op}#{got_seq} (comm {got_comm}): ranks entered "
+                "different collectives"
+            )
+        return body
+
+    def _hub_exchange(
+        self, opname: str, seq: int, up_item: Any,
+        down_items: "Callable[[list[Any]], list[Any]]",
+    ) -> Any:
+        """The aggregated physical schedule shared by the planned rootless
+        collectives: every non-hub rank sends one ``(rank, item)`` frame up
+        to comm rank 0; the hub computes the per-destination results with
+        ``down_items(ups)`` and sends one frame back down to each rank —
+        2(p-1) frames per wave, independent of the logical round count.
+        Returns this rank's down payload (the hub: ``down_items(ups)[0]``).
+        """
+        p, r = self.size, self.rank
+        if r == 0:
+            ups: list[Any] = [None] * p
+            ups[0] = up_item
+            for _ in range(p - 1):
+                src, item = self._coll_recv_any(opname, seq)
+                ups[src] = item
+            downs = down_items(ups)
+            for dst in range(1, p):
+                self._phys_send(dst, downs[dst], opname, seq)
+            self._flush_frames()  # the hub's down-leg must not linger
+            return downs[0]
+        self._phys_send(0, (r, up_item), opname, seq)
+        return self._coll_recv(0, opname, seq)
 
     def _next_seq(self) -> int:
         self._coll_seq += 1
@@ -462,13 +860,22 @@ class Communicator:
         attributed after the collective's traffic completes."""
         return self.stats.messages_sent, self.stats.words_sent
 
-    def _end_alg(self, op: str, alg: str, before: tuple[int, int], steps: int) -> None:
+    def _end_alg(
+        self, op: str, alg: str, before: tuple[int, int], steps: int,
+        flush: bool = True,
+    ) -> None:
         self.stats.record_alg(
             op, alg,
             self.stats.messages_sent - before[0],
             self.stats.words_sent - before[1],
             steps,
         )
+        # Every collective boundary is a deterministic flush point, so
+        # trailing sends (a bcast leaf, an exscan link, scattered pieces)
+        # are on the wire before user code regains control.  isend opts
+        # out — deferring its frame IS the point.
+        if flush and self._outbox:
+            self._flush_frames()
 
     def _trace_begin(self, opname: str, **args: Any) -> "tuple[int, int] | None":
         """Open one comm span and snapshot (messages, words) — the same
@@ -495,19 +902,43 @@ class Communicator:
     # -- collectives ----------------------------------------------------------
 
     def barrier(self) -> None:
-        """Dissemination barrier: ⌈log₂p⌉ rounds."""
-        seq = self._next_seq()
-        tok = self._trace_begin("barrier")
-        self._verify("barrier", seq)
-        before = self._begin_alg()
+        """Dissemination barrier: ⌈log₂p⌉ rounds (one aggregated star wave
+        under ``config.aggregate``)."""
+        self.barrier_n(1)
+
+    def barrier_n(self, count: int) -> None:
+        """``count`` consecutive barriers in one physical wave.
+
+        Logically — ledger, verify signatures, fault points, trace spans —
+        identical to calling :meth:`barrier` ``count`` times.  Under
+        aggregation the physical release is a single star wave for the
+        whole batch (2(p-1) frames total), which is what lets the RMA
+        layer's ``fence_all``/``free_all`` fuse their epoch barriers.
+        """
+        if count <= 0:
+            return
         p, r = self.size, self.rank
-        k = 1
-        while k < p:
-            self._coll_send((r + k) % p, None, "barrier", seq)
-            self._coll_recv((r - k) % p, "barrier", seq)
-            k *= 2
-        self._end_alg("barrier", "dissemination", before, _log2ceil(p))
-        self._trace_end(tok, "dissemination", _log2ceil(p))
+        aggregated = self.config.aggregate and p > 1
+        first_seq = 0
+        for i in range(count):
+            seq = self._next_seq()
+            if i == 0:
+                first_seq = seq
+            tok = self._trace_begin("barrier")
+            self._verify("barrier", seq)
+            before = self._begin_alg()
+            k = 1
+            while k < p:
+                if aggregated:
+                    self._logical_send("barrier", (r + k) % p, 1)
+                else:
+                    self._coll_send((r + k) % p, None, "barrier", seq)
+                    self._coll_recv((r - k) % p, "barrier", seq)
+                k *= 2
+            self._end_alg("barrier", "dissemination", before, _log2ceil(p))
+            self._trace_end(tok, "dissemination", _log2ceil(p))
+        if aggregated:
+            self._hub_exchange("barrier", first_seq, None, lambda ups: [None] * p)
 
     # -- bcast ---------------------------------------------------------------
 
@@ -576,7 +1007,7 @@ class Communicator:
             out: "list[Any] | None" = [None] * self.size
             out[root] = _freeze(payload)
             for _ in range(self.size - 1):
-                env = self.fabric.collect(self.global_rank, ANY_SOURCE, self._coll_tag(seq))
+                env = self._collect(ANY_SOURCE, self._coll_tag(seq))
                 got_op, got_comm, got_seq, body = env.payload
                 if got_op != "gather" or got_seq != seq or got_comm != self.comm_id:
                     raise CollectiveMismatchError(
@@ -630,11 +1061,34 @@ class Communicator:
         if alg == "ring":
             out = self._allgather_ring(payload, seq)
             steps = max(0, self.size - 1)
+        elif self.config.aggregate and self.size > 1:
+            out = self._allgather_hub(payload, seq)
+            steps = _log2ceil(self.size)
         else:
             out = self._allgather_dissemination(payload, seq)
             steps = _log2ceil(self.size)
         self._end_alg("allgather", alg, before, steps)
         self._trace_end(tok, alg, steps)
+        return out
+
+    def _allgather_hub(self, payload: Any, seq: int) -> list[Any]:
+        """Aggregated dissemination allgather: one star wave carries every
+        block (2(p-1) frames), while the ledger replays the dissemination
+        rounds' exact per-message word counts — computable here because
+        after the wave every rank holds all block sizes."""
+        p, r = self.size, self.rank
+        out = list(self._hub_exchange(
+            "allgather", seq, _freeze(payload), lambda ups: [ups] * p
+        ))
+        bw = [_payload_words(out[i]) for i in range(p)]
+        k = 1
+        while k < p:
+            # dissemination round k sends held[:nsend] = (src, block) pairs
+            # for blocks r..r+nsend-1: one word per src int plus the block
+            nsend = min(k, p - k)
+            words = nsend + sum(bw[(r + i) % p] for i in range(nsend))
+            self._logical_send("allgather", (r - k) % p, words)
+            k *= 2
         return out
 
     def _allgather_ring(self, payload: Any, seq: int) -> list[Any]:
@@ -721,14 +1175,40 @@ class Communicator:
                 pairwise_cost = aw * (p - 1) + W
                 alg = "bruck" if bruck_cost < pairwise_cost else "pairwise"
         if alg == "bruck":
+            # Bruck's forwarded blocks give each rank logical word counts
+            # that depend on payloads it never sees until it moves them, so
+            # there is no analytic ledger: physical = logical.
             out = self._alltoall_bruck(payloads, seq)
             steps = extra_steps + rounds
+        elif self.config.aggregate and p > 1:
+            out = self._alltoall_hub(payloads, seq)
+            steps = extra_steps + max(0, p - 1)
         else:
             out = self._alltoall_pairwise(payloads, seq)
             steps = extra_steps + max(0, p - 1)
         self._end_alg("alltoall", alg, before, steps)
         self._trace_end(tok, alg, steps)
         return out
+
+    def _alltoall_hub(self, payloads: Sequence[Any], seq: int) -> list[Any]:
+        """Aggregated pairwise alltoall: each rank ships its whole payload
+        row up in one frame, the hub repacks per destination and ships one
+        frame back down.  Word volume roughly doubles physically (rows
+        travel up and repacked columns travel down) but frames drop from
+        p(p-1) to 2(p-1) per call — the α-dominated regime this engine
+        targets.  The ledger replays pairwise's p-1 per-destination sends."""
+        p, r = self.size, self.rank
+        for step in range(1, p):
+            dst = (r + step) % p
+            self._logical_send("alltoall", dst, _payload_words(payloads[dst]))
+        row = list(payloads)
+        if r == 0:
+            row[0] = _freeze(row[0])  # the hub's own block skips the wire
+        out = self._hub_exchange(
+            "alltoall", seq, row,
+            lambda rows: [[rows[s][d] for s in range(p)] for d in range(p)],
+        )
+        return list(out)
 
     def _dissemination_max(self, value: int, seq: int) -> int:
         """Global max of a per-rank scalar in ⌈log₂p⌉ one-word rounds.
@@ -847,7 +1327,10 @@ class Communicator:
             self._verify(
                 "allreduce", seq, extra=(op.name,) + _payload_sig(payload)
             )
-            out, steps = self._allreduce_doubling(payload, op, seq)
+            if self.config.aggregate and self.size > 1:
+                out, steps = self._allreduce_hub(payload, op, seq)
+            else:
+                out, steps = self._allreduce_doubling(payload, op, seq)
         else:
             # composed variants: traced exactly like the explicit
             # reduce-then-bcast call sequence they are
@@ -912,6 +1395,81 @@ class Communicator:
         steps = (pof2.bit_length() - 1) + (2 if rem else 0)
         return acc, steps
 
+    def _allreduce_ledger(self, words: int) -> int:
+        """Charge the logical ledger with recursive doubling's exact send
+        schedule (destinations and program order included, so fault-injector
+        decision streams match the unaggregated run) without moving data.
+        Returns the step count."""
+        p, r = self.size, self.rank
+        pof2 = 1 << (p.bit_length() - 1)
+        if pof2 > p:  # pragma: no cover - bit_length guarantees pof2 <= p
+            pof2 >>= 1
+        rem = p - pof2
+        if r < 2 * rem:
+            if r % 2 == 0:
+                self._logical_send("allreduce", r + 1, words)
+                newr = -1
+            else:
+                newr = r // 2
+        else:
+            newr = r - rem
+        if newr >= 0:
+            mask = 1
+            while mask < pof2:
+                partner_new = newr ^ mask
+                partner = (
+                    partner_new * 2 + 1 if partner_new < rem else partner_new + rem
+                )
+                self._logical_send("allreduce", partner, words)
+                mask <<= 1
+        if r < 2 * rem and r % 2 == 1:
+            self._logical_send("allreduce", r - 1, words)
+        return (pof2.bit_length() - 1) + (2 if rem else 0)
+
+    def _allreduce_hub(self, payload: Any, op: ReduceOp, seq: int) -> tuple[Any, int]:
+        """Aggregated allreduce: one up-frame per rank to the hub, which
+        evaluates the same balanced reduction tree recursive doubling would
+        (:func:`_doubling_fold`, so order-sensitive operators agree bitwise)
+        and ships one result frame back down.  2(p-1) physical frames
+        instead of ~p·log p messages; the logical ledger replays doubling's
+        schedule via :meth:`_allreduce_ledger`."""
+        steps = self._allreduce_ledger(_payload_words(payload))
+        own = _freeze(payload)
+        out = self._hub_exchange(
+            "allreduce", seq, own,
+            lambda ups: [_doubling_fold(ups, op)] * self.size,
+        )
+        return out, steps
+
+    def iallreduce(self, payload: Any, op: ReduceOp = SUM) -> Request:
+        """Nonblocking allreduce: returns a :class:`Request` whose ``wait``
+        yields the reduced value on every rank.
+
+        Ledger, divergence check, and trace span are identical to the
+        blocking :meth:`allreduce` (the span is named "allreduce" so the
+        trace/ledger cross-check keys line up); only completion is
+        deferred.  On the aggregated doubling path non-hub ranks post their
+        up-frame immediately and the hub's fold + down wave runs inside
+        ``wait`` — the window between post and wait is compute the caller
+        overlaps with communication.  Pinned compositions fall back to a
+        deferred blocking call (payload frozen at post time).
+        """
+        alg = "doubling" if self.config.allreduce == "auto" else self.config.allreduce
+        if not (self.config.aggregate and self.size > 1 and alg == "doubling"):
+            frozen = _freeze(payload)
+            return _DeferredRequest(lambda: self.allreduce(frozen, op))
+        tok = self._trace_begin("allreduce", op=op.name)
+        before = self._begin_alg()
+        seq = self._next_seq()
+        self._verify("allreduce", seq, extra=(op.name,) + _payload_sig(payload))
+        steps = self._allreduce_ledger(_payload_words(payload))
+        own = _freeze(payload)
+        if self.rank != 0:
+            self._phys_send(0, (self.rank, own), "allreduce", seq)
+        self._end_alg("allreduce", alg, before, steps)
+        self._trace_end(tok, alg, steps)
+        return _AllreduceRequest(self, seq, op, own)
+
     def exscan(self, payload: Any, op: ReduceOp = SUM) -> Any:
         """Exclusive prefix reduction along the rank chain.
 
@@ -959,6 +1517,8 @@ class Communicator:
         self._verify("split", seq)
         before = self._begin_alg()
         key = self.rank if key is None else key
+        if self._outbox:
+            self._flush_frames()  # rendezvous blocks without a mailbox wait
         self.fabric.last_blocked[self.global_rank] = ("split", self.comm_id, seq)
         tr = self.tracer
         t0 = tr.now() if tr is not None else 0.0

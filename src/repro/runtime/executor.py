@@ -344,13 +344,14 @@ def run_mcm_dist_resilient(
             # attempt resumes from must run again
             phases_replayed += max(0, reached - 1 - restart_from)
 
-    from ..matching.mcm_dist import merge_by_alg
+    from ..matching.mcm_dist import merge_by_alg, merge_physical
 
     refresh = getattr(store, "refresh_counters", None)
     if refresh is not None:
         refresh()
     mate_r, mate_c, stats = result[0]
     stats.comm_by_alg = merge_by_alg(result.values)
+    merge_physical(stats, result.values)
     stats.verify_summary = result.verify_summary
     stats.restarts = restarts
     stats.phases_replayed = phases_replayed

@@ -141,12 +141,27 @@ def test_alltoallv_ragged_payloads_match_oracle(p, alg):
     assert set(_merged_by_alg(res)) == {f"alltoall:{alg}"}
 
 
+_AUTO = CollectiveConfig(alltoall="auto")
+
+
+@pytest.mark.parametrize("p", [4, 5, 9])
+def test_alltoall_default_is_pairwise(p):
+    # The default flipped from auto to pairwise with the aggregation
+    # engine: Bruck's forwarded words depend on payloads the sender never
+    # sees, so it has no analytic ledger and cannot be hub-planned.
+    def main(comm):
+        return comm.alltoall([np.arange(2, dtype=np.int64)] * comm.size)
+
+    res = spmd(p, main)
+    assert set(_merged_by_alg(res)) == {"alltoall:pairwise"}
+
+
 @pytest.mark.parametrize("p", [4, 5, 9])
 def test_alltoall_auto_picks_bruck_for_small_payloads(p):
     def main(comm):
         return comm.alltoall([np.arange(2, dtype=np.int64)] * comm.size)
 
-    res = spmd(p, main)  # default config: auto
+    res = spmd(p, main, comm_config=_AUTO)
     assert set(_merged_by_alg(res)) == {"alltoall:bruck"}
 
 
@@ -155,7 +170,7 @@ def test_alltoall_auto_picks_pairwise_for_large_payloads(p):
     def main(comm):
         return comm.alltoall([np.arange(512, dtype=np.int64)] * comm.size)
 
-    res = spmd(p, main)
+    res = spmd(p, main, comm_config=_AUTO)
     assert set(_merged_by_alg(res)) == {"alltoall:pairwise"}
 
 
@@ -165,7 +180,7 @@ def test_alltoall_auto_small_comms_go_pairwise_without_sizing(p):
     def main(comm):
         return comm.alltoall([np.arange(2, dtype=np.int64)] * comm.size)
 
-    res = spmd(p, main)
+    res = spmd(p, main, comm_config=_AUTO)
     by = _merged_by_alg(res)
     assert set(by) == {"alltoall:pairwise"}
     assert by["alltoall:pairwise"]["steps"] == p * (p - 1)  # no sizing rounds
@@ -178,7 +193,7 @@ def test_alltoall_auto_decision_is_rank_uniform_under_skew():
         n = 4096 if comm.rank == 0 else 1
         return comm.alltoall([np.arange(n, dtype=np.int64)] * comm.size)
 
-    res = spmd(5, main)
+    res = spmd(5, main, comm_config=_AUTO)
     assert set(_merged_by_alg(res)) == {"alltoall:pairwise"}
 
 
