@@ -27,7 +27,12 @@ simulation), ``graphs`` (generators and the Table II stand-in suite).
 from .sparse.coo import COO
 from .sparse.csc import CSC
 from .sparse.dcsc import DCSC
-from .matching.api import maximal_matching, maximum_matching, matching_cardinality
+from .matching.api import (
+    maximal_matching,
+    maximum_matching,
+    maximum_weight_matching,
+    matching_cardinality,
+)
 from .matching.validate import is_valid_matching, verify_maximum
 
 __version__ = "1.0.0"
@@ -41,5 +46,6 @@ __all__ = [
     "matching_cardinality",
     "maximal_matching",
     "maximum_matching",
+    "maximum_weight_matching",
     "verify_maximum",
 ]

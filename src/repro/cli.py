@@ -145,53 +145,84 @@ def cmd_spmd(args) -> int:
     coo = _load_input(args)
     init = args.init if args.init in ("greedy", "mindegree") else "none"
     trace = args.trace_clock if args.trace else False
+    weighted = args.objective == "weight"
     comm_config = None
     if args.aggregate == "off":
         from .runtime.comm import CollectiveConfig
 
         comm_config = CollectiveConfig(aggregate=False)
+    recovery_kwargs = {}
+    plan = None
     if args.chaos is not None:
-        from .runtime import FaultPlan, FileCheckpointStore, run_mcm_dist_resilient
+        from .runtime import FaultPlan, FileCheckpointStore
 
         plan = FaultPlan.parse(args.chaos_plan, seed=args.chaos)
         store = FileCheckpointStore(args.checkpoint_dir) if args.checkpoint_dir else None
+        recovery_kwargs = dict(
+            faults=plan, checkpoint_every=args.checkpoint_every,
+            checkpoint_store=store, max_restarts=args.max_restarts,
+        )
+    run_kwargs = dict(
+        timeout=args.timeout, verify=args.verify, comm_config=comm_config,
+        trace=trace, backend=args.backend,
+    )
+    if weighted:
+        from .graphs.generators import edge_weights
+
+        weights = edge_weights(coo, dist=args.weights, seed=args.seed,
+                               bound=args.weight_bound)
+        alg_kwargs = dict(epsilon=args.epsilon, cardinality_bias=args.cardinality_bias)
+        if plan is not None:
+            from .runtime.executor import run_mwm_dist_resilient
+
+            mate_r, mate_c, stats = run_mwm_dist_resilient(
+                coo, weights, args.pr, args.pc,
+                **alg_kwargs, **recovery_kwargs, **run_kwargs,
+            )
+        else:
+            from .matching.mwm_dist import run_mwm_dist
+
+            mate_r, mate_c, stats = run_mwm_dist(
+                coo, weights, args.pr, args.pc, **alg_kwargs, **run_kwargs,
+            )
+    elif plan is not None:
+        from .runtime import run_mcm_dist_resilient
+
         mate_r, mate_c, stats = run_mcm_dist_resilient(
             coo, args.pr, args.pc,
             init=init, direction=args.direction,
-            faults=plan,
-            checkpoint_every=args.checkpoint_every,
-            checkpoint_store=store,
-            max_restarts=args.max_restarts,
-            timeout=args.timeout,
-            verify=args.verify,
-            comm_config=comm_config,
-            trace=trace,
-            backend=args.backend,
+            **recovery_kwargs, **run_kwargs,
         )
-        print(f"chaos seed {args.chaos}, plan [{plan.describe()}]: "
-              f"{stats.restarts} restart(s), {stats.phases_replayed} phase(s) "
-              f"replayed, {stats.checkpoint_words:,} checkpoint words")
     else:
         mate_r, mate_c, stats = run_mcm_dist(
             coo, args.pr, args.pc,
-            init=init,
-            direction=args.direction,
-            timeout=args.timeout,
-            verify=args.verify,
-            comm_config=comm_config,
-            trace=trace,
-            backend=args.backend,
+            init=init, direction=args.direction, **run_kwargs,
         )
+    if plan is not None:
+        print(f"chaos seed {args.chaos}, plan [{plan.describe()}]: "
+              f"{stats.restarts} restart(s), {stats.phases_replayed} phase(s) "
+              f"replayed, {stats.checkpoint_words:,} checkpoint words")
     card = int((mate_r != -1).sum())
-    print(f"grid {args.pr}x{args.pc}: matched {card:,} "
-          f"(init {stats.initial_cardinality:,}), {stats.phases} phases, "
-          f"{stats.iterations} iterations, augment level/path = "
-          f"{stats.augment_level_calls}/{stats.augment_path_calls}")
-    print(f"direction {args.direction}: top-down/bottom-up steps = "
-          f"{stats.topdown_steps}/{stats.bottomup_steps}, "
-          f"{stats.edges_examined:,} edges examined, words "
-          f"expand/fold/total = {stats.expand_words:,}/{stats.fold_words:,}/"
-          f"{stats.total_words:,}")
+    if weighted:
+        print(f"grid {args.pr}x{args.pc}: matched {card:,} pairs, weight "
+              f"{stats.matching_weight:.6g} (scale {stats.weight_scale:.6g}, "
+              f"epsilon {stats.epsilon}), {stats.phases} epsilon-phase(s), "
+              f"{stats.auction_rounds} auction round(s)")
+        print(f"auction    : {stats.bids_placed:,} bids, "
+              f"{stats.price_updates:,} price updates "
+              f"({stats.price_words:,} replication words), words "
+              f"expand/fold/total = {stats.expand_words:,}/{stats.fold_words:,}/"
+              f"{stats.total_words:,}")
+    else:
+        print(f"grid {args.pr}x{args.pc}: matched {card:,} "
+              f"(init {stats.initial_cardinality:,}), {stats.phases} phases, "
+              f"{stats.iterations} iterations, augment level/path = "
+              f"{stats.augment_level_calls}/{stats.augment_path_calls}")
+        print(f"direction {args.direction}: top-down/bottom-up steps = "
+              f"{stats.topdown_steps}/{stats.bottomup_steps}, "
+              f"{stats.edges_examined:,} edges examined, words "
+              f"expand/fold/total = {stats.expand_words:,}/{stats.fold_words:,}/"
+              f"{stats.total_words:,}")
     if args.verify:
         vs = stats.verify_summary or {}
         print(f"verification: PASSED — {vs.get('collectives_checked', 0):,} "
@@ -220,6 +251,7 @@ def cmd_spmd(args) -> int:
         payload = dataclasses.asdict(stats)
         payload["cardinality"] = card
         payload["grid"] = {"pr": args.pr, "pc": args.pc}
+        payload["objective"] = args.objective
         with open(args.stats_json, "w") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True, default=_jsonable)
             fh.write("\n")
@@ -283,12 +315,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--breakdown", action="store_true")
     p.set_defaults(fn=cmd_scaling)
 
-    p = sub.add_parser("spmd", help="run MCM-DIST on a simulated process grid")
+    p = sub.add_parser(
+        "spmd",
+        help="run MCM-DIST (or MWM-DIST with --objective weight) on a "
+             "simulated process grid",
+    )
     _add_input_args(p)
     p.add_argument("--pr", type=int, default=2)
     p.add_argument("--pc", type=int, default=2)
     p.add_argument("--init", default="greedy", choices=["greedy", "mindegree", "none"])
     p.add_argument("--direction", default="topdown", choices=["topdown", "bottomup", "auto"])
+    p.add_argument("--objective", default="cardinality",
+                   choices=["cardinality", "weight"],
+                   help="'cardinality' runs MCM-DIST (default); 'weight' runs "
+                        "the epsilon-scaled distributed auction (MWM-DIST) "
+                        "over generated edge weights")
+    p.add_argument("--epsilon", type=float, default=0.05,
+                   help="auction optimality slack: the matching weight is "
+                        ">= (1-epsilon) * optimum (objective=weight only)")
+    p.add_argument("--weights", default="uniform",
+                   choices=["uniform", "skewed", "intbounded"],
+                   help="edge-weight distribution, hashed deterministically "
+                        "from (edge, --seed) (objective=weight only)")
+    p.add_argument("--weight-bound", type=int, default=16, metavar="B",
+                   help="integer bound for --weights intbounded")
+    p.add_argument("--cardinality-bias", type=float, default=0.0, metavar="BIAS",
+                   help="shift real edges by BIAS*scale against staying "
+                        "unmatched; >= 1 chases cardinality at equal weight")
     p.add_argument("--backend", default=None, choices=["thread", "process"],
                    help="transport: 'thread' simulates ranks as threads in "
                         "one interpreter (default), 'process' forks one OS "

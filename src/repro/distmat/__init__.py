@@ -30,12 +30,15 @@ from .vecmap import BlockMap, VecMap
 from .distvec import DistDenseVec, DistVertexFrontier
 from .spmat import DistSparseMatrix
 from . import ops
+# imported last: wspmat's methods reach back into repro.matching.auction
+from .wspmat import DistWeightedMatrix
 
 __all__ = [
     "BlockMap",
     "DistDenseVec",
     "DistSparseMatrix",
     "DistVertexFrontier",
+    "DistWeightedMatrix",
     "ProcGrid",
     "VecMap",
     "ops",

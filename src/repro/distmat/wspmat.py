@@ -1,0 +1,193 @@
+"""The 2D-distributed WEIGHTED sparse matrix: one CSC block per rank.
+
+The auction engine needs what :class:`DistSparseMatrix` does not carry —
+float64 edge weights and O(1) per-column access from arbitrary bidder
+subsets — so weighted jobs get their own block container: a dense-pointer
+CSC (a pointer per block column, no DCSC compression) whose kernels live
+in :mod:`repro.matching.auction` and are shared with the serial oracle.
+Partitioning, vector maps, and the root-scatter protocol mirror
+:class:`DistSparseMatrix` exactly, so both matrix flavours address the
+same grid the same way.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse.coo import COO
+from .distvec import make_vecmap
+from .grid import ProcGrid
+from .vecmap import BlockMap
+
+
+class DistWeightedMatrix:
+    """Rank-local weighted block of an n₁ × n₂ matrix on a pr × pc grid.
+
+    Rank (i, j) stores block ``A_ij`` as dense-pointer CSC arrays
+    ``(cp, ir, w)`` with *local* indices; ``cp`` has one pointer per block
+    column (length ``ncols_local + 1``), ``ir`` ascending within a column.
+    """
+
+    def __init__(
+        self,
+        grid: ProcGrid,
+        nrows: int,
+        ncols: int,
+        cp: np.ndarray,
+        ir: np.ndarray,
+        w: np.ndarray,
+        w2: "np.ndarray | None" = None,
+    ) -> None:
+        self.grid = grid
+        self.nrows = int(nrows)
+        self.ncols = int(ncols)
+        self.rowmap = BlockMap(nrows, grid.pr)
+        self.colmap = BlockMap(ncols, grid.pc)
+        self.cp, self.ir, self.w = cp, ir, w
+        # optional second per-edge value array sharing the CSC order — the
+        # auction engine bids on effective weights (w) but scores matchings
+        # with the original ones (w2)
+        self.w2 = w2
+        self.row_lo, self.row_hi = self.rowmap.range(grid.i)
+        self.col_lo, self.col_hi = self.colmap.range(grid.j)
+        self.row_vecmap = make_vecmap(grid, nrows, "row")
+        self.col_vecmap = make_vecmap(grid, ncols, "col")
+        self._degc_sub: "np.ndarray | None" = None
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def scatter_from_root(
+        cls,
+        grid: ProcGrid,
+        coo: "COO | None",
+        weights: "np.ndarray | None",
+        root: int = 0,
+        weights2: "np.ndarray | None" = None,
+    ) -> "DistWeightedMatrix":
+        """Collective: distribute a weighted COO held by ``root``.
+
+        ``weights2`` optionally ships a second per-edge value array (e.g.
+        original weights alongside bias-shifted effective weights); every
+        block stores it in the same CSC order as ``weights``.
+        """
+        comm = grid.comm
+        if comm.rank == root:
+            assert coo is not None and weights is not None, "root must supply matrix+weights"
+            assert weights.size == coo.rows.size, "one weight per edge"
+            shape = (coo.nrows, coo.ncols, weights2 is not None)
+        else:
+            shape = None
+        nrows, ncols, has_w2 = comm.bcast(shape, root=root)
+        rowmap = BlockMap(nrows, grid.pr)
+        colmap = BlockMap(ncols, grid.pc)
+
+        if comm.rank == root:
+            vals = np.asarray(weights, np.float64)
+            vals2 = np.asarray(weights2, np.float64) if has_w2 else np.zeros(0)
+            bi = np.minimum(coo.rows // rowmap.bs, grid.pr - 1)
+            bj = np.minimum(coo.cols // colmap.bs, grid.pc - 1)
+            dest = bi * grid.pc + bj
+            order = np.argsort(dest, kind="stable")
+            rows_s, cols_s = coo.rows[order], coo.cols[order]
+            vals_s, dest_s = vals[order], dest[order]
+            vals2_s = vals2[order] if has_w2 else vals2
+            cuts = np.searchsorted(dest_s, np.arange(comm.size + 1))
+            payloads = [
+                (
+                    rows_s[cuts[r]:cuts[r + 1]],
+                    cols_s[cuts[r]:cuts[r + 1]],
+                    vals_s[cuts[r]:cuts[r + 1]],
+                    vals2_s[cuts[r]:cuts[r + 1]] if has_w2 else None,
+                )
+                for r in range(comm.size)
+            ]
+        else:
+            payloads = None
+        my_rows, my_cols, my_vals, my_vals2 = comm.scatter(payloads, root=root)
+
+        # imported lazily: matching.auction is a sibling layer and importing
+        # it at module scope would close an import cycle through the
+        # repro.matching package __init__
+        from ..matching.auction import build_csc
+
+        rlo, rhi = rowmap.range(grid.i)
+        clo, chi = colmap.range(grid.j)
+        if has_w2:
+            cp, ir, w, w2 = build_csc(
+                max(0, rhi - rlo), max(0, chi - clo),
+                my_rows - rlo, my_cols - clo, my_vals, my_vals2,
+            )
+        else:
+            cp, ir, w = build_csc(
+                max(0, rhi - rlo), max(0, chi - clo),
+                my_rows - rlo, my_cols - clo, my_vals,
+            )
+            w2 = None
+        return cls(grid, nrows, ncols, cp, ir, w, w2)
+
+    # -- properties ---------------------------------------------------------------
+
+    @property
+    def local_nnz(self) -> int:
+        return int(self.ir.size)
+
+    def global_nnz(self) -> int:
+        """Collective: total nonzeros across the grid."""
+        from ..runtime.comm import SUM
+
+        return int(self.grid.comm.allreduce(self.local_nnz, op=SUM))
+
+    def col_degrees_sub(self) -> np.ndarray:
+        """Full-matrix column degrees restricted to this rank's
+        column-vector sub-chunk — which bidders exist at all.
+
+        COLLECTIVE on first call (one allreduce along colcomm), then
+        cached; every rank must reach the first call at the same program
+        point.  Treat the returned array as read-only.
+        """
+        if self._degc_sub is None:
+            from ..runtime.comm import SUM
+
+            grid = self.grid
+            degc_blk = grid.colcomm.allreduce(np.diff(self.cp), op=SUM)
+            clo, chi = self.col_vecmap.local_range(grid.i, grid.j)
+            self._degc_sub = degc_blk[clo - self.col_lo:chi - self.col_lo]
+        return self._degc_sub
+
+    # -- auction kernels (global-index wrappers over the shared helpers) ----------
+
+    def top2(
+        self, gcols: np.ndarray, price_blk: np.ndarray, bias: float = 0.0
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Per-bidder (best, second) profits over THIS block, global ids.
+
+        ``gcols`` are global bidding columns within this rank's column
+        range; ``price_blk`` the block-replicated prices of this rank's row
+        block (local row indexing).  Returns global column and row ids.
+        """
+        from ..matching.auction import top2_cols
+
+        cols, best, brow, bw, second = top2_cols(
+            self.cp, self.ir, self.w,
+            np.asarray(gcols, np.int64) - self.col_lo,
+            price_blk, bias,
+        )
+        return cols + self.col_lo, best, brow + self.row_lo, bw, second
+
+    def matched_weight_local(self, mate_blk: np.ndarray) -> float:
+        """Original-weight sum of this block's matched edges.
+
+        ``mate_blk[r]`` is the global mate column of local block row ``r``
+        (NULL if unmatched).  Summing over ranks (each edge lives in one
+        block) gives the global matching weight.
+        """
+        from ..matching.auction import matched_weight
+
+        return matched_weight(self.cp, self.ir, self.w, mate_blk, self.col_lo)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DistWeightedMatrix({self.nrows}x{self.ncols} on "
+            f"{self.grid.pr}x{self.grid.pc}, local nnz={self.local_nnz})"
+        )

@@ -193,3 +193,52 @@ def long_path(n: int) -> COO:
     (diameter n); used by tests and the augmentation ablation."""
     i = np.arange(n - 1, dtype=np.int64)
     return _sym(n, i, i + 1)
+
+
+# ---------------------------------------------------------------------------
+# edge weights (the maximum-WEIGHT matching workload)
+# ---------------------------------------------------------------------------
+
+#: Weight distributions ``edge_weights`` understands.  "uniform" draws
+#: dyadic rationals in (0, 1]; "skewed" a power-law-ish ladder of 16
+#: magnitude levels 2^0 .. 2^-15 (rare heavy edges, many exact ties per
+#: level); "intbounded" integers in [1, bound] (dense ties — the auction's
+#: worst case for bidding wars).
+WEIGHT_DISTS = ("uniform", "skewed", "intbounded")
+
+
+def _mix64(z: np.ndarray) -> np.ndarray:
+    """Vectorized splitmix64 finalizer (uint64 in, uint64 out)."""
+    z = (z + np.uint64(0x9E3779B97F4A7C15)).astype(np.uint64)
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return z ^ (z >> np.uint64(31))
+
+
+def edge_weights(
+    coo: COO, dist: str = "uniform", seed: int = 0, *, bound: int = 16
+) -> np.ndarray:
+    """Deterministic per-EDGE weights for a pattern matrix.
+
+    The weight of edge (i, j) is a pure hash of ``(i, j, seed)``, so it is
+    independent of the storage order of the COO arrays and of any later
+    partitioning — every rank of a distributed run derives the same weight
+    for the same edge without communication.  All weights are positive and
+    exact dyadic floats (binary fractions), so cross-platform float
+    comparisons in the auction are reproducible bit for bit.
+    """
+    if dist not in WEIGHT_DISTS:
+        raise ValueError(f"unknown weight distribution {dist!r}; choose from {WEIGHT_DISTS}")
+    with np.errstate(over="ignore"):
+        h = _mix64(
+            coo.rows.astype(np.uint64) * np.uint64(0x9E3779B97F4A7C15)
+            + coo.cols.astype(np.uint64)
+            + np.uint64(seed) * np.uint64(0xD1B54A32D192ED03)
+        )
+    # 20 high bits -> dyadic uniform u in [0, 1) with exactly 2^20 levels
+    u = (h >> np.uint64(44)).astype(np.float64) / float(1 << 20)
+    if dist == "uniform":
+        return u + 1.0 / (1 << 20)  # shift into (0, 1]
+    if dist == "skewed":
+        return np.ldexp(1.0, -(np.floor(u * 16.0)).astype(np.int64))
+    return np.floor(u * bound) + 1.0  # "intbounded": integers 1..bound as floats

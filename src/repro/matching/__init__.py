@@ -21,11 +21,17 @@ The matrix-algebraic formulation (Section III):
 * :mod:`~repro.matching.maximal_rounds` — the round-synchronous distributed
   initializers of the authors' companion paper [21].
 
-The true distributed implementation:
+The true distributed implementations:
 
 * :mod:`~repro.matching.mcm_dist` — MCM-DIST running SPMD over
   :mod:`repro.distmat` and :mod:`repro.runtime` (each rank owns only its
-  DCSC block and vector slices).
+  DCSC block and vector slices);
+* :mod:`~repro.matching.mwm_dist` — MWM-DIST, the maximum WEIGHT sibling:
+  ε-scaled synchronized auctions on the doubled perfect-assignment graph,
+  sharing the pure-NumPy round kernels of :mod:`~repro.matching.auction`
+  with the serial oracle twin
+  (:mod:`~repro.matching.reference.auction_twin`); the exact O(n³)
+  Hungarian reference lives in :mod:`~repro.matching.reference.hungarian`.
 
 Validation:
 
@@ -53,15 +59,19 @@ from .augment import augment_level_parallel, augment_path_parallel, choose_augme
 from .maximal_rounds import greedy_rounds, karp_sipser_rounds, mindegree_rounds, MaximalHooks
 from .graft import ms_bfs_graft
 from .push_relabel import push_relabel_mcm
-from .api import maximum_matching, maximal_matching
+from .reference import auction_mwm_serial, hungarian_mwm
+from .mwm_dist import run_mwm_dist
+from .api import maximum_matching, maximal_matching, maximum_weight_matching
 
 __all__ = [
     "MatchingStats",
     "MaximalHooks",
     "MsBfsHooks",
+    "auction_mwm_serial",
     "augment_level_parallel",
     "augment_path_parallel",
     "cardinality",
+    "hungarian_mwm",
     "choose_augment_mode",
     "dynamic_mindegree",
     "greedy_maximal",
@@ -74,7 +84,9 @@ __all__ = [
     "koenig_vertex_cover",
     "maximal_matching",
     "maximum_matching",
+    "maximum_weight_matching",
     "mindegree_rounds",
+    "run_mwm_dist",
     "ms_bfs_graft",
     "ms_bfs_mcm",
     "pothen_fan",

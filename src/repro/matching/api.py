@@ -113,6 +113,54 @@ def maximum_matching(
     )
 
 
+def maximum_weight_matching(
+    graph: COO,
+    weights: np.ndarray,
+    *,
+    epsilon: float = 0.05,
+    cardinality_bias: float = 0.0,
+    method: str = "auction",
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """Maximum WEIGHT matching of an edge-weighted bipartite graph.
+
+    ``graph`` must be a :class:`~repro.sparse.coo.COO` with ``weights``
+    parallel to its edge arrays (CSC is rejected because its edge order
+    differs and would silently misalign the weights).  ``method`` picks the
+    engine: ``"auction"`` — the ε-scaled serial auction
+    (:func:`~repro.matching.reference.auction_twin.auction_mwm_serial`,
+    weight ≥ ``(1 - epsilon) * OPT``, the serial twin of the distributed
+    :func:`~repro.matching.mwm_dist.run_mwm_dist`) — or ``"exact"`` — the
+    O(n³) Hungarian oracle
+    (:func:`~repro.matching.reference.hungarian.hungarian_mwm`).
+    ``cardinality_bias`` trades weight for cardinality (auction only;
+    ``>= 1`` prefers any real edge over leaving vertices unmatched).
+    Returns ``(mate_r, mate_c, weight)`` over positive-weight edges.
+    """
+    if not isinstance(graph, COO):
+        raise TypeError(
+            f"maximum_weight_matching needs a COO (weights are parallel to "
+            f"its edge arrays), got {type(graph).__name__}"
+        )
+    weights = np.asarray(weights, np.float64)
+    if weights.shape != graph.rows.shape:
+        raise ValueError("one weight per edge required")
+    if method == "auction":
+        from .reference.auction_twin import auction_mwm_serial
+
+        mate_r, mate_c, info = auction_mwm_serial(
+            graph.nrows, graph.ncols, graph.rows, graph.cols, weights,
+            epsilon=epsilon, cardinality_bias=cardinality_bias,
+        )
+        return mate_r, mate_c, float(info["weight"])
+    if method == "exact":
+        from .reference.hungarian import hungarian_mwm
+
+        return hungarian_mwm(
+            graph.nrows, graph.ncols, graph.rows, graph.cols, weights
+        )
+    raise ValueError(f"unknown method {method!r}; choose from ['auction', 'exact']")
+
+
 def matching_cardinality(mate: np.ndarray) -> int:
     """Convenience: number of matched pairs described by a mate vector."""
     return int((np.asarray(mate) != NULL).sum())

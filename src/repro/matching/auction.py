@@ -1,0 +1,377 @@
+"""Synchronized-auction primitives for maximum WEIGHT bipartite matching.
+
+The auction algorithm (Bertsekas) treats columns as *bidders* and rows as
+*items* carrying prices.  An unmatched bidder j looks at its incident
+edges' profits ``w_ij - p_i``, picks the best item i*, and raises that
+item's price to the point where i* becomes exactly as attractive as the
+bidder's second-best option, plus a bid increment ``delta``.  Each item
+accepts the highest bid it received, evicting its previous mate.
+
+**Assignment reduction.**  ε-scaling (reusing prices across phases of
+shrinking ``delta``) is only sound for the PERFECT assignment problem:
+with both matchings perfect, the price sums in the primal-dual bound
+cancel, giving ``weight(M) >= OPT - N*delta`` no matter how inflated the
+inherited prices are.  The "unmatched is worth 0, retire at profit <= 0"
+variant has no such luck — a coarse phase can overprice an item by its
+phase's delta and permanently scare off the only bidder that wanted it.
+So the engines solve MWM(G) via the standard doubling
+(:func:`double_for_assignment`): a (n1+n2) × (n1+n2) graph carrying the
+original weight block, its transpose, and zero-weight dummy diagonal
+edges that make a perfect matching always exist.  The two weight blocks
+yield two candidate matchings of G; the better one satisfies
+``weight >= (1 - epsilon) * OPT`` (see the module tests for the proof
+obligations asserted as ε-complementary slackness).
+
+This module holds the *pure-NumPy round kernels* shared verbatim by the
+serial reference engine (:mod:`repro.matching.reference.auction_twin`) and
+the distributed engine (:mod:`repro.matching.mwm_dist`):
+
+* :func:`delta_schedule` — the ε-scaling ladder of bid increments;
+* :func:`top2_cols` — per-bidder (best, second-best) profits over a CSC
+  block — the (select, +)-semiring SpMV of one bidding round;
+* :func:`combine_partials` — the associative merge of per-block partial
+  (best, second) results at the bidder's owner rank;
+* :func:`compute_bids` — the Bertsekas bid from combined (best, second);
+* :func:`resolve_bids` — per-item max-bid resolution (the column-wise
+  max-reduce), riding :func:`repro.sparse.semiring.reduce_candidates`
+  with float keys.
+
+Because every kernel is deterministic (profit ties break to the smallest
+row id, bid ties to the smallest bidder id) and all bids of one round are
+computed against the same round-start prices (Jacobi style), the round
+sequence is a function of global state only — the distributed engine is
+bit-identical to the serial twin on every grid shape, backend, and
+aggregation setting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse.semiring import SR_MAX_PARENT, reduce_candidates
+from ..sparse.spvec import NULL
+
+_NEG_INF = -np.inf
+
+
+def delta_schedule(scale: float, n: int, epsilon: float) -> "list[float]":
+    """ε-scaling bid increments, largest first.
+
+    Starts at ``scale / 8`` and divides by 8 until reaching the final
+    increment ``epsilon * scale / n`` — the only one that matters for
+    the (1-ε) bound; the earlier coarse phases exist to keep the number of
+    bidding rounds polylogarithmic in 1/ε.  ``scale`` is the (bias-shifted)
+    maximum edge weight and ``n`` the assignment size (``n1 + n2`` after
+    the doubling); an empty/zero-weight problem yields ``[]``.
+    """
+    if epsilon <= 0.0:
+        raise ValueError(f"epsilon must be > 0, got {epsilon}")
+    if scale <= 0.0:
+        return []
+    d_final = epsilon * scale / max(1, int(n))
+    schedule: list[float] = []
+    d = scale / 8.0
+    while d > d_final:
+        schedule.append(d)
+        d /= 8.0  # exact in binary floating point: exponent shift only
+    schedule.append(d_final)
+    return schedule
+
+
+def dedup_edges(
+    rows: np.ndarray, cols: np.ndarray, weights: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Collapse parallel edges to the heaviest copy, (col, row)-sorted.
+
+    An auction can only ever transact an (i, j) pair at its best weight —
+    lighter duplicates change no bid and no price — but they WOULD corrupt
+    the bookkeeping around them: the searchsorted in
+    :func:`lookup_pair_weights` assumes strictly increasing (col, row)
+    keys, and the distributed extraction sums ``w_orig`` over every local
+    nonzero flagged as matched, counting each duplicate once.  Both entry
+    points therefore dedup through this one kernel, keeping the serial
+    twin and the distributed engine bit-identical on multigraph inputs.
+    """
+    rows = np.asarray(rows, np.int64)
+    cols = np.asarray(cols, np.int64)
+    weights = np.asarray(weights, np.float64)
+    if rows.size == 0:
+        return rows, cols, weights
+    order = np.lexsort((weights, rows, cols))
+    rows, cols, weights = rows[order], cols[order], weights[order]
+    last = np.empty(rows.size, dtype=bool)
+    last[-1] = True
+    np.not_equal(rows[1:], rows[:-1], out=last[:-1])
+    last[:-1] |= cols[1:] != cols[:-1]
+    return rows[last], cols[last], weights[last]
+
+
+def double_for_assignment(
+    n1: int,
+    n2: int,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    weights: np.ndarray,
+    bias_add: float = 0.0,
+) -> tuple[int, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """MWM(G) → perfect assignment on the doubled graph G'.
+
+    G' has ``N = n1 + n2`` items and bidders: items ``0..n1`` are the
+    original rows, items ``n1..N`` the original columns (and vice versa
+    for bidders), with four edge groups —
+
+    * real block: item i, bidder j, weight ``w_ij + bias_add``;
+    * transpose block: item n1+j, bidder n2+i, weight ``w_ij + bias_add``;
+    * dummy diagonals: (item i, bidder n2+i) and (item n1+j, bidder j) at
+      weight 0, so the identity-on-dummies perfect matching always exists.
+
+    A perfect matching of G' selects two (independent) matchings of G —
+    one per weight block — whose effective weights sum to its total, so
+    the better of the two is at least half… and with the auction's
+    ``N·delta = ε·scale`` slack, at least ``(1-ε)·OPT``.
+
+    ``bias_add`` is the cardinality/weight knob: real edges are shifted by
+    it while dummies stay at 0, so at ``bias_add >= scale`` any real edge
+    beats retreating to a dummy and the auction chases cardinality.  (A
+    uniform shift of ALL edges would be invisible — perfect matchings all
+    have exactly N edges.)
+
+    Returns ``(N, rows', cols', w_eff, w_orig)``; ``w_eff`` is bid on,
+    ``w_orig`` (bias-free, dummies 0) is what matchings are scored with.
+    """
+    rows = np.asarray(rows, np.int64)
+    cols = np.asarray(cols, np.int64)
+    weights = np.asarray(weights, np.float64)
+    ar1 = np.arange(n1, dtype=np.int64)
+    ar2 = np.arange(n2, dtype=np.int64)
+    z1, z2 = np.zeros(n1), np.zeros(n2)
+    drows = np.concatenate([rows, n1 + cols, ar1, n1 + ar2])
+    dcols = np.concatenate([cols, n2 + rows, n2 + ar1, ar2])
+    w_eff = np.concatenate([weights + bias_add, weights + bias_add, z1, z2])
+    w_orig = np.concatenate([weights, weights, z1, z2])
+    return n1 + n2, drows, dcols, w_eff, w_orig
+
+
+def _empty_top2() -> tuple[np.ndarray, ...]:
+    e = np.empty(0, np.int64)
+    f = np.empty(0, np.float64)
+    return e, f.copy(), e.copy(), f.copy(), f.copy()
+
+
+def top2_cols(
+    cp: np.ndarray,
+    ir: np.ndarray,
+    w: np.ndarray,
+    cols: np.ndarray,
+    price: np.ndarray,
+    bias: float = 0.0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Best and second-best profits per bidding column over one CSC block.
+
+    ``cp`` is a dense column-pointer array (length ncols+1), ``ir``/``w``
+    the row ids and weights; ``cols`` the bidding columns (local ids, any
+    subset); ``price`` the per-row prices the profits are computed against;
+    ``bias`` a uniform weight shift (the cardinality/weight trade-off knob —
+    every edge gains ``bias``, making longer matchings dominate).
+
+    Returns ``(cols, best, best_row, best_w, second)`` restricted to the
+    columns with at least one edge in the block: the winning profit, its
+    row and *shifted* weight, and the profit of the best OTHER edge
+    (``-inf`` for single-edge columns).  Ties on profit break to the
+    smallest row id, which is what makes distributed pre-reduction +
+    :func:`combine_partials` reproduce this function applied globally.
+    """
+    cols = np.asarray(cols, np.int64)
+    cnt = cp[cols + 1] - cp[cols]
+    keep = cnt > 0
+    kcols, kcnt = cols[keep], cnt[keep]
+    tot = int(kcnt.sum())
+    if tot == 0:
+        return _empty_top2()
+    group = np.repeat(np.arange(kcols.size, dtype=np.int64), kcnt)
+    # flat CSC positions of every (bidding column, edge) pair
+    starts_of = np.concatenate(([0], np.cumsum(kcnt)))[:-1]
+    flat = np.arange(tot, dtype=np.int64) + np.repeat(cp[kcols] - starts_of, kcnt)
+    rows_e = ir[flat]
+    w_e = w[flat] + bias
+    profit = w_e - price[rows_e]
+    order = np.lexsort((rows_e, -profit, group))
+    g_s, r_s, p_s, w_s = group[order], rows_e[order], profit[order], w_e[order]
+    first = np.empty(g_s.size, dtype=bool)
+    first[0] = True
+    np.not_equal(g_s[1:], g_s[:-1], out=first[1:])
+    starts = np.flatnonzero(first)
+    nxt = starts + 1
+    has2 = nxt < g_s.size
+    has2[has2] = ~first[nxt[has2]]  # next entry must belong to the same group
+    second = np.full(starts.size, _NEG_INF)
+    second[has2] = p_s[nxt[has2]]
+    return kcols, p_s[starts], r_s[starts], w_s[starts], second
+
+
+def combine_partials(
+    cols: np.ndarray,
+    best: np.ndarray,
+    best_row: np.ndarray,
+    best_w: np.ndarray,
+    second: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Merge per-block (best, second) partials into global per-column top-2.
+
+    Each input entry is one block's :func:`top2_cols` result for a column;
+    a column may appear once per block holding its edges.  The winner is
+    the partial with the largest best profit (ties: smallest row), and the
+    global second-best is the max of every partial's ``second`` and the
+    best of every NON-winning partial — the associative (best, second)
+    combine, evaluated in one vectorized pass.  Returns arrays with one
+    entry per distinct column, sorted ascending by column id.
+    """
+    if cols.size == 0:
+        return _empty_top2()
+    order = np.lexsort((best_row, -best, cols))
+    c_s = cols[order]
+    b_s, r_s, w_s, s_s = best[order], best_row[order], best_w[order], second[order]
+    first = np.empty(c_s.size, dtype=bool)
+    first[0] = True
+    np.not_equal(c_s[1:], c_s[:-1], out=first[1:])
+    starts = np.flatnonzero(first)
+    grp = np.cumsum(first) - 1
+    # max of every partial's own second-best (includes the winner's)
+    smax = np.full(starts.size, _NEG_INF)
+    np.maximum.at(smax, grp, s_s)
+    # best profit of the runner-up partial (the entry right after the winner)
+    nxt = starts + 1
+    has2 = nxt < c_s.size
+    has2[has2] = ~first[nxt[has2]]
+    b2 = np.full(starts.size, _NEG_INF)
+    b2[has2] = b_s[nxt[has2]]
+    return c_s[starts], b_s[starts], r_s[starts], w_s[starts], np.maximum(smax, b2)
+
+
+def compute_bids(
+    best: np.ndarray,
+    best_w: np.ndarray,
+    second: np.ndarray,
+    delta: float,
+    sec_floor: float,
+) -> np.ndarray:
+    """The Bertsekas bid: raise the best item's price until it is only
+    ``delta`` more attractive than the second-best option.
+
+    ``bid = w_eff - min(max(second, sec_floor), best) + delta``.  The
+    ``sec_floor`` clamp keeps single-edge bidders finite (their second
+    profit is -inf); the ``min(·, best)`` clamp keeps bids monotone —
+    without it, a bidder whose every profit has sunk below the floor
+    would compute a bid BELOW the item's current price, and a Jacobi
+    round that accepted it would move prices backwards, breaking both
+    termination and the standing matches' ε-complementary slackness.
+    With the clamps, ``bid >= price + delta`` always (minimal escalation
+    in the desperate case) and the accepted pair's new profit
+    ``min(max(second, floor), best) - delta >= second - delta`` keeps
+    ε-CS in every branch.
+    """
+    return best_w - np.minimum(np.maximum(second, sec_floor), best) + delta
+
+
+def resolve_bids(
+    rows: np.ndarray, bids: np.ndarray, bidders: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-item max-bid resolution: one winner per row, ties to the
+    smallest bidder id.
+
+    Rides the shared :func:`~repro.sparse.semiring.reduce_candidates`
+    kernel with a FLOAT comparison key — the weighted (profit, bidder)
+    payload shape the kernel's dtype generalization exists for.  The
+    pre-sort by bidder makes the stable first-wins reduction deterministic
+    regardless of the arrival order of routed bids.
+    """
+    rows = np.asarray(rows, np.int64)
+    bids = np.asarray(bids, np.float64)
+    bidders = np.asarray(bidders, np.int64)
+    order = np.argsort(bidders, kind="stable")
+    return reduce_candidates(
+        rows[order], bids[order], bidders[order], SR_MAX_PARENT
+    )
+
+
+def build_csc(
+    nrows: int, ncols: int, rows: np.ndarray, cols: np.ndarray, *vals: np.ndarray
+) -> tuple[np.ndarray, ...]:
+    """Dense-pointer CSC arrays ``(cp, ir, *vals)`` from weighted triples.
+
+    Unlike :class:`~repro.sparse.dcsc.DCSC` this keeps a pointer per column
+    (auction blocks are dense in columns and need O(1) per-column access),
+    and carries float64 values — any number of parallel value arrays (the
+    doubled matrix ships effective AND original weights) are permuted into
+    the same (col, row)-sorted order.  Rows within a column are ascending.
+    """
+    rows = np.asarray(rows, np.int64)
+    cols = np.asarray(cols, np.int64)
+    order = np.lexsort((rows, cols))
+    rows, cols = rows[order], cols[order]
+    cp = np.zeros(ncols + 1, dtype=np.int64)
+    np.cumsum(np.bincount(cols, minlength=ncols), out=cp[1:])
+    return (cp, rows, *(np.asarray(v, np.float64)[order] for v in vals))
+
+
+def lookup_pair_weights(
+    n1: int,
+    cp: np.ndarray,
+    ir: np.ndarray,
+    w: np.ndarray,
+    qrows: np.ndarray,
+    qcols: np.ndarray,
+) -> np.ndarray:
+    """Weights of query edges ``(qrows[k], qcols[k])`` against a CSC graph
+    (0.0 for absent edges).  The CSC's (col, row)-sorted order makes the
+    composite key ``col * (n1 + 1) + row`` strictly increasing, so one
+    vectorized searchsorted answers every query."""
+    if ir.size == 0 or qrows.size == 0:
+        return np.zeros(qrows.size)
+    stride = np.int64(n1 + 1)
+    cols_e = np.repeat(np.arange(cp.size - 1, dtype=np.int64), np.diff(cp))
+    keys = cols_e * stride + ir
+    q = np.asarray(qcols, np.int64) * stride + np.asarray(qrows, np.int64)
+    pos = np.searchsorted(keys, q)
+    out = np.zeros(q.size)
+    inb = pos < keys.size
+    hit = np.flatnonzero(inb)
+    hit = hit[keys[pos[hit]] == q[hit]]
+    out[hit] = w[pos[hit]]
+    return out
+
+
+def extract_matchings(
+    n1: int, n2: int, mate_item: np.ndarray
+) -> tuple[tuple[np.ndarray, np.ndarray], tuple[np.ndarray, np.ndarray]]:
+    """Split a doubled-graph perfect matching into its two G-matchings.
+
+    ``mate_item[g]`` is the bidder matched to item ``g`` of G'.  Returns
+    ``((rows1, cols1), (rows2, cols2))``: the real-block pairs (item < n1
+    matched to a bidder < n2) and the transpose-block pairs, both sorted
+    by the item index that produced them — the canonical order every rank
+    and grid shape reproduces identically.
+    """
+    m1 = np.flatnonzero((mate_item[:n1] != NULL) & (mate_item[:n1] < n2))
+    pairs1 = (m1, mate_item[m1])
+    tr = mate_item[n1:n1 + n2]
+    m2 = np.flatnonzero(tr >= n2)
+    pairs2 = (tr[m2] - np.int64(n2), m2)
+    return pairs1, pairs2
+
+
+def matched_weight(
+    cp: np.ndarray, ir: np.ndarray, w: np.ndarray, mate_of_row: np.ndarray,
+    col_offset: int = 0,
+) -> float:
+    """Sum of ORIGINAL edge weights selected by a row-mate vector over one
+    CSC block.  ``mate_of_row[r]`` is the global mate column of local row r
+    (NULL if unmatched); block columns map to global ids via
+    ``col_offset``.  Each edge lives in exactly one block, so summing the
+    per-block results gives the global matching weight.
+    """
+    if w.size == 0:
+        return 0.0
+    cols_e = np.repeat(np.arange(cp.size - 1, dtype=np.int64), np.diff(cp))
+    hit = mate_of_row[ir] == cols_e + col_offset
+    return float(w[hit].sum())

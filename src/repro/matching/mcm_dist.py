@@ -114,6 +114,20 @@ class DistStats:
     restart_spans: "tuple[tuple[int, int], ...]" = ()
     #: filled by :func:`run_mcm_dist` when the job ran with ``verify=True``
     verify_summary: "dict[str, int] | None" = None
+    #: weighted-auction counters (``run_mwm_dist``; zero for cardinality
+    #: jobs): synchronized bidding rounds across all ε-phases, bids placed
+    #: (one per active bidder per round, globally summed), item price
+    #: increases accepted, and 8-byte words spent replicating accepted
+    #: prices along the grid rows
+    auction_rounds: int = 0
+    bids_placed: int = 0
+    price_updates: int = 0
+    price_words: int = 0
+    #: weighted objective of the reported matching (original weights), its
+    #: weight scale (max edge weight) and the ε the schedule was built for
+    matching_weight: float = 0.0
+    weight_scale: float = 0.0
+    epsilon: float = 0.0
 
     # The merged span timeline (:class:`repro.runtime.trace.DistTrace`) when
     # the job ran with ``trace=...``.  Deliberately a plain class attribute,
@@ -121,6 +135,10 @@ class DistStats:
     # ``--stats-json``) must not serialize it, and a disabled tracer must add
     # zero entries to DistStats.
     trace = None
+    # Final doubled-graph item prices of a weighted auction job — a class
+    # attribute for the same asdict/JSON reason as ``trace``; tests read it
+    # to assert ε-complementary slackness.
+    auction_prices = None
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,378 @@
+"""MWM-DIST: distributed maximum WEIGHT matching via ε-scaled auctions.
+
+The weighted sibling of :mod:`repro.matching.mcm_dist` — same SPMD
+discipline (rank-local blocks and vector slices, all coordination through
+collectives), but the phase engine is a synchronized Bertsekas auction on
+the DOUBLED perfect-assignment graph (see :mod:`repro.matching.auction`
+for why the doubling is what makes ε-scaling sound).
+
+One bidding round, as it appears on the wire:
+
+1. **bid** — every rank lists its unmatched bidder columns, expands them
+   along the grid COLUMN (one allgatherv: each rank of the column needs
+   the full bidder set to scan its block), and runs the
+   (select, +)-semiring block kernel :func:`~repro.matching.auction.top2_cols`
+   against the block-replicated item prices.  Per-block (best, second)
+   partials are routed along the grid column to each bidder's owner rank
+   and merged (:func:`~repro.matching.auction.combine_partials`); the
+   Bertsekas bid is computed from the combined top-2.
+2. **resolve** — bids travel one grid-wide all-to-all to the item owners;
+   each item keeps its highest bid (ties to the smallest bidder — the
+   float-keyed :func:`~repro.sparse.semiring.reduce_candidates`), evicts
+   its previous mate, and raises its price to the winning bid.  Mate
+   updates fan out to the bidder owners (winners and evictees are
+   disjoint sets, so one routed message serves both), and accepted prices
+   replicate along the grid ROW into every block copy.
+3. **quiescence** — one 2-word allreduce carries (active bidders,
+   accepted bids); the phase ends when no bidder was active.
+
+All bids of a round are computed against the same round-start prices
+(Jacobi), and every tie-break is by smallest id, so the mate vectors are
+bit-identical to :func:`repro.matching.reference.auction_twin.auction_mwm_serial`
+on every grid shape, backend, and aggregation setting.
+
+Checkpointing rides the phase-boundary protocol of the cardinality
+engine, but snapshots the item PRICES alongside the doubled mate vectors
+(the :class:`~repro.runtime.checkpoint.Checkpoint` ``aux`` slot): mates
+alone are not a valid auction restart point — a phase resumed with zeroed
+prices would forfeit the warm start the earlier ε-phases paid for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..distmat.distvec import DistDenseVec
+from ..distmat.grid import ProcGrid
+from ..distmat.ops import allgather_arrays, route
+from ..distmat.wspmat import DistWeightedMatrix
+from ..runtime import spmd
+from ..runtime.checkpoint import Checkpoint, CheckpointStore
+from ..runtime.comm import SUM, Communicator
+from ..runtime.trace import tspan
+from ..sparse.coo import COO
+from ..sparse.spvec import NULL
+from .auction import (
+    combine_partials,
+    compute_bids,
+    dedup_edges,
+    delta_schedule,
+    double_for_assignment,
+    resolve_bids,
+)
+from .mcm_dist import (
+    DistStats,
+    _local_by_alg,
+    _local_physical,
+    _phase_boundary,
+    merge_by_alg,
+    merge_physical,
+)
+
+
+def _gather_prices(grid: ProcGrid, mate_item: DistDenseVec, price_own: np.ndarray) -> np.ndarray:
+    """Assemble the global item-price vector (collective).
+
+    ``price_own`` is this rank's row-vector sub-chunk, aligned with
+    ``mate_item.local``; the float analogue of ``DistDenseVec.to_global``.
+    """
+    pieces = grid.comm.allgather((mate_item.lo, price_own))
+    out = np.zeros(mate_item.n)
+    for lo, arr in pieces:
+        out[lo:lo + arr.size] = arr
+    return out
+
+
+def _save_auction_checkpoint(
+    grid: ProcGrid,
+    store: CheckpointStore,
+    phase: int,
+    mate_item: DistDenseVec,
+    mate_bidder: DistDenseVec,
+    price_own: np.ndarray,
+    stats: DistStats,
+) -> None:
+    """Snapshot (doubled mates, item prices) after a completed ε-phase.
+
+    Same write/barrier discipline as the cardinality engine's
+    ``_save_checkpoint`` — rank 0 is the single writer, and no rank passes
+    the closing barrier (toward the next crashable phase boundary) before
+    the snapshot is durable.
+    """
+    with tspan(grid.comm, "checkpoint", cat="phase", phase=phase):
+        g_item = mate_item.to_global()
+        g_bidder = mate_bidder.to_global()
+        prices = _gather_prices(grid, mate_item, price_own)
+        if grid.comm.rank == 0:
+            store.save(Checkpoint(
+                phase=phase, mate_row=g_item, mate_col=g_bidder,
+                rng_state=None, aux={"prices": prices},
+            ))
+        grid.comm.barrier()
+        stats.checkpoint_words += g_item.size + g_bidder.size + prices.size + 2
+
+
+def mwm_dist_spmd(
+    comm: Communicator,
+    coo_on_root: "COO | None",
+    weights_on_root: "np.ndarray | None",
+    pr: int,
+    pc: int,
+    *,
+    epsilon: float = 0.05,
+    cardinality_bias: float = 0.0,
+    max_rounds: int = 1_000_000,
+    checkpoint_every: int = 0,
+    checkpoint_store: "CheckpointStore | None" = None,
+    resume: "Checkpoint | None" = None,
+) -> tuple[np.ndarray, np.ndarray, DistStats]:
+    """The per-rank body of MWM-DIST (launch via :func:`run_mwm_dist`).
+
+    ``coo_on_root``/``weights_on_root`` live on rank 0 (None elsewhere).
+    Returns globally assembled ``(mate_r, mate_c, stats)`` on every rank,
+    a matching of the ORIGINAL graph with
+    ``weight >= (1 - epsilon) * OPT`` over positive weights;
+    ``stats.matching_weight`` carries the objective and
+    ``stats.auction_prices`` the final doubled-graph prices (for ε-CS
+    assertions).  ``cardinality_bias`` trades weight for cardinality by
+    shifting real edges against the zero-weight dummy diagonal (>= 1
+    makes any real edge beat going unmatched).
+    """
+    grid = ProcGrid(comm, pr, pc)
+    stats = DistStats()
+    stats.epsilon = float(epsilon)
+
+    # -- problem setup: root doubles the graph, every rank derives the
+    # identical schedule from the broadcast header -------------------------------
+    if comm.rank == 0:
+        assert coo_on_root is not None and weights_on_root is not None
+        n1, n2 = coo_on_root.nrows, coo_on_root.ncols
+        # parallel edges collapse to their heaviest copy (the only one an
+        # auction could transact) — same kernel as the serial twin, so the
+        # two engines see the identical edge list
+        e_rows, e_cols, w_in = dedup_edges(
+            coo_on_root.rows, coo_on_root.cols, weights_on_root
+        )
+        scale = float(w_in.max()) if w_in.size else 0.0
+        header = (n1, n2, scale)
+    else:
+        header = None
+    n1, n2, scale = comm.bcast(header, root=0)
+    stats.weight_scale = scale
+    bias_add = cardinality_bias * scale
+    scale_eff = scale + bias_add
+    schedule = delta_schedule(scale_eff, n1 + n2, epsilon) if scale > 0.0 else []
+    sec_floor = -(scale_eff + 1.0)
+
+    if comm.rank == 0:
+        N, dr, dc, dweff, dworig = double_for_assignment(
+            n1, n2, e_rows, e_cols, w_in, bias_add
+        )
+        doubled = COO(N, N, dr, dc, dedup=False)  # groups are disjoint by construction
+    else:
+        doubled, dweff, dworig = None, None, None
+    A = DistWeightedMatrix.scatter_from_root(grid, doubled, dweff, weights2=dworig)
+    N = A.nrows
+
+    mate_item = DistDenseVec(grid, N, "row")     # item -> bidder
+    mate_bidder = DistDenseVec(grid, N, "col")   # bidder -> item
+    # item prices: this rank's row-vector sub-chunk + its row-block replica
+    price_own = np.zeros(mate_item.hi - mate_item.lo)
+    price_blk = np.zeros(A.row_hi - A.row_lo)
+
+    start_phase = 0
+    if resume is not None:
+        mate_item.local[:] = resume.mate_row[mate_item.lo:mate_item.hi]
+        mate_bidder.local[:] = resume.mate_col[mate_bidder.lo:mate_bidder.hi]
+        prices_g = resume.aux["prices"] if resume.aux else np.zeros(N)
+        price_own[:] = prices_g[mate_item.lo:mate_item.hi]
+        price_blk[:] = prices_g[A.row_lo:A.row_hi]
+        start_phase = resume.phase
+    elif checkpoint_store is not None:
+        # phase-0 snapshot: uniform restart bookkeeping with the MCM engine
+        _save_auction_checkpoint(
+            grid, checkpoint_store, 0, mate_item, mate_bidder, price_own, stats
+        )
+
+    rounds = bids_local = updates_local = price_words_local = 0
+    for phase_no in range(start_phase + 1, len(schedule) + 1):
+        delta = schedule[phase_no - 1]
+        stats.phases = phase_no
+        _phase_boundary(grid, phase_no)
+        with tspan(grid.comm, "phase", cat="phase", phase=phase_no):
+            # each ε-phase restarts the assignment; prices persist (sound
+            # for PERFECT assignment — the price sums cancel in the bound)
+            mate_item.local.fill(NULL)
+            mate_bidder.local.fill(NULL)
+            while True:
+                if rounds >= max_rounds:
+                    raise RuntimeError(f"auction exceeded {max_rounds} rounds")
+                with tspan(grid.comm, "auction_round", cat="phase", round=rounds + 1):
+                    with tspan(grid.comm, "bid"):
+                        # expand: every rank of the grid column needs the
+                        # column's full unmatched-bidder set for its block
+                        lbidders = np.flatnonzero(mate_bidder.local == NULL) + mate_bidder.lo
+                        pieces = grid.colcomm.allgatherv((lbidders,))
+                        gcols = np.concatenate([p[0] for p in pieces])
+                        kcols, best, brow, bw, second = A.top2(gcols, price_blk)
+                        # fold the per-block partials at each bidder's owner
+                        sub, _blk = A.col_vecmap.owner(kcols)
+                        cc, cb, cr, cw, cs = route(
+                            grid.colcomm, sub, kcols, best, brow, bw, second
+                        )
+                        cc, cb, cr, cw, cs = combine_partials(cc, cb, cr, cw, cs)
+                        bids = compute_bids(cb, cw, cs, delta, sec_floor)
+                    with tspan(grid.comm, "resolve"):
+                        # per-item max-bid resolution at the item owners
+                        rrow, rbid, rbidder = route(
+                            grid.comm, mate_item.owner_of(cr), cr, bids, cc
+                        )
+                        ridx, wbid, winner = resolve_bids(rrow, rbid, rbidder)
+                        prev = mate_item.get_local(ridx)
+                        mate_item.set_local(ridx, winner)
+                        price_own[ridx - mate_item.lo] = wbid
+                        # winners were unmatched at round start and evictees
+                        # matched, so the sets are disjoint: one routed
+                        # message updates both at the bidder owners
+                        ev = prev[prev != NULL]
+                        nb = np.concatenate([winner, ev])
+                        nv = np.concatenate([ridx, np.full(ev.size, NULL, np.int64)])
+                        bb, bv = route(grid.comm, mate_bidder.owner_of(nb), nb, nv)
+                        mate_bidder.set_local(bb, bv)
+                        # replicate accepted prices along the grid row into
+                        # every block copy of this row block
+                        for gi, gp in allgather_arrays(grid.rowcomm, ridx, wbid):
+                            price_blk[gi - A.row_lo] = gp
+                        price_words_local += 2 * int(ridx.size) * (grid.pc - 1)
+                        updates_local += int(ridx.size)
+                    # quiescence: 2 words carry (active bidders, accepts)
+                    counts = grid.comm.allreduce(
+                        np.array([lbidders.size, ridx.size], np.int64), op=SUM
+                    )
+                if counts[0] == 0:
+                    break  # the round was a no-op: perfect assignment stands
+                rounds += 1
+                bids_local += int(lbidders.size)
+            if (
+                checkpoint_store is not None
+                and checkpoint_every > 0
+                and phase_no % checkpoint_every == 0
+            ):
+                _save_auction_checkpoint(
+                    grid, checkpoint_store, phase_no,
+                    mate_item, mate_bidder, price_own, stats,
+                )
+
+    # -- extraction: the better of the two G-matchings the assignment picked.
+    # Pairs are assembled in the canonical item-index order on EVERY rank, so
+    # the float weight sums (and hence the M1-vs-M2 choice) are grid-invariant
+    # and bit-identical to the serial twin's.
+    mate_item_g = mate_item.to_global()
+    w_orig = A.w2 if A.w2 is not None else np.zeros(0)
+    cols_e = np.repeat(np.arange(A.cp.size - 1, dtype=np.int64), np.diff(A.cp))
+    grows = A.ir + A.row_lo
+    gcols = cols_e + A.col_lo
+    matched = mate_item_g[grows] == gcols if grows.size else np.zeros(0, bool)
+    m1 = matched & (grows < n1) & (gcols < n2)
+    m2 = matched & (grows >= n1) & (gcols >= n2)
+    p1 = allgather_arrays(grid.comm, grows[m1], gcols[m1], w_orig[m1])
+    p2 = allgather_arrays(grid.comm, gcols[m2] - np.int64(n2), grows[m2] - np.int64(n1),
+                          w_orig[m2])
+    cand = []
+    for pieces, sort_key in ((p1, 0), (p2, 1)):
+        ii = np.concatenate([p[0] for p in pieces])
+        jj = np.concatenate([p[1] for p in pieces])
+        ww = np.concatenate([p[2] for p in pieces])
+        # the twin enumerates M1 by item (row) index and M2 by column index
+        order = np.argsort(ii if sort_key == 0 else jj)
+        ii, jj, ww = ii[order], jj[order], ww[order]
+        cand.append((ii, jj, ww, float(ww[ww > 0].sum())))
+    ii, jj, ww, weight = cand[1] if cand[1][3] > cand[0][3] else cand[0]
+    pos = ww > 0.0  # never keep a zero/negative-weight or dummy-backed pair
+    g_mate_r = np.full(n1, NULL, dtype=np.int64)
+    g_mate_c = np.full(n2, NULL, dtype=np.int64)
+    g_mate_r[ii[pos]] = jj[pos]
+    g_mate_c[jj[pos]] = ii[pos]
+
+    stats.matching_weight = weight
+    stats.final_cardinality = int(pos.sum())
+    stats.auction_rounds = rounds
+    totals = grid.comm.allreduce(
+        np.array([bids_local, updates_local, price_words_local], np.int64), op=SUM
+    )
+    stats.bids_placed = int(totals[0])
+    stats.price_updates = int(totals[1])
+    stats.price_words = int(totals[2])
+    stats.auction_prices = _gather_prices(grid, mate_item, price_own)
+    # snapshot BEFORE the summing collectives so they don't count themselves
+    words = np.array(
+        [
+            grid.colcomm.stats.words_sent,
+            grid.rowcomm.stats.words_sent,
+            grid.comm.stats.words_sent,
+        ],
+        dtype=np.int64,
+    )
+    words = grid.comm.allreduce(words, op=SUM)
+    stats.expand_words = int(words[0])
+    stats.fold_words = int(words[1])
+    stats.total_words = int(words[0] + words[1] + words[2])
+    stats.comm_by_alg = _local_by_alg(grid)
+    stats.comm_messages, stats.frames, stats.frame_words = _local_physical(grid)
+    return g_mate_r, g_mate_c, stats
+
+
+def _mwm_rank_main(
+    comm: Communicator, coo: COO, weights: np.ndarray, pr: int, pc: int, **mwm_kwargs
+):
+    """Per-rank entry point of :func:`run_mwm_dist` (module-level so a
+    process backend can pickle it)."""
+    data = (coo, weights) if comm.rank == 0 else (None, None)
+    return mwm_dist_spmd(comm, data[0], data[1], pr, pc, **mwm_kwargs)
+
+
+def run_mwm_dist(
+    coo: COO,
+    weights: np.ndarray,
+    pr: int,
+    pc: int,
+    *,
+    epsilon: float = 0.05,
+    cardinality_bias: float = 0.0,
+    max_rounds: int = 1_000_000,
+    timeout: "float | None" = None,
+    verify: bool = False,
+    faults=None,
+    comm_config=None,
+    trace: "bool | str" = False,
+    backend: "str | None" = None,
+) -> tuple[np.ndarray, np.ndarray, DistStats]:
+    """Launch MWM-DIST on a simulated pr × pc process grid.
+
+    The weighted matrix starts on rank 0 and is scattered (doubled into
+    the perfect-assignment form first); the returned mate vectors describe
+    a matching of the ORIGINAL graph with
+    ``weight >= (1 - epsilon) * OPT`` (positive weights).  All the
+    runtime knobs (``verify``, ``faults``, ``comm_config``, ``trace``,
+    ``backend``, ``timeout``) behave exactly as in
+    :func:`~repro.matching.mcm_dist.run_mcm_dist`; this entry point has
+    no recovery — use
+    :func:`~repro.runtime.executor.run_mwm_dist_resilient` to survive
+    injected crashes.
+    """
+    from ..runtime.executor import resolve_timeout
+
+    result = spmd(
+        pr * pc, _mwm_rank_main, coo, weights, pr, pc,
+        timeout=resolve_timeout(timeout, default=120.0),
+        verify=verify, faults=faults, comm_config=comm_config, trace=trace,
+        backend=backend,
+        epsilon=epsilon, cardinality_bias=cardinality_bias, max_rounds=max_rounds,
+    )
+    mate_r, mate_c, stats = result[0]
+    stats.comm_by_alg = merge_by_alg(result.values)
+    merge_physical(stats, result.values)
+    stats.verify_summary = result.verify_summary
+    if result.trace is not None:
+        stats.trace = result.trace
+    return mate_r, mate_c, stats

@@ -1,0 +1,15 @@
+"""Serial oracles for maximum-weight matching parity testing.
+
+Two independent references judge the distributed auction engine:
+
+* :func:`~repro.matching.reference.hungarian.hungarian_mwm` — an exact
+  O(n³) Hungarian solve (the ground truth for the (1-ε) bound);
+* :func:`~repro.matching.reference.auction_twin.auction_mwm_serial` — a
+  serial auction built from the SAME round kernels as the distributed
+  engine, expected to match it bit for bit on mates and prices.
+"""
+
+from .auction_twin import auction_mwm_serial
+from .hungarian import hungarian_mwm
+
+__all__ = ["auction_mwm_serial", "hungarian_mwm"]

@@ -1,0 +1,108 @@
+"""Exact maximum-weight bipartite matching: O(n³) Hungarian algorithm.
+
+The potential-based (Jonker-Volgenant style) formulation: maintain dual
+potentials ``u`` (rows of the assignment problem) and ``v`` (columns),
+insert one row at a time, and grow a shortest augmenting path in the
+reduced-cost graph, updating potentials by the bottleneck slack ``delta``
+at each step.  Serial and dense on purpose — this is the parity oracle
+the ε-scaled distributed auction is judged against, so it must be
+unimpeachably simple, not fast.
+
+Objective semantics (matching the auction engine): maximize the sum of
+edge weights over a *matching* — not necessarily perfect — where edges
+with weight ≤ 0 are never worth taking (dropping a negative edge always
+increases the objective; a zero edge never changes it).  Internally we
+solve the classic minimum-cost PERFECT assignment on a square-padded
+dense matrix with cost ``wmax - max(w, 0)`` (missing and padded cells
+cost ``wmax``, i.e. zero benefit), then discard assigned pairs that do
+not correspond to a real positive-weight edge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...sparse.spvec import NULL
+
+
+def _dense_benefit(
+    nrows: int, ncols: int, rows: np.ndarray, cols: np.ndarray, weights: np.ndarray
+) -> np.ndarray:
+    """n × n benefit matrix: clamped weights, 0 for non-edges/padding.
+    Duplicate (i, j) entries keep the largest weight."""
+    n = max(nrows, ncols, 1)
+    benefit = np.zeros((n, n))
+    np.maximum.at(benefit, (rows, cols), np.maximum(weights, 0.0))
+    return benefit
+
+
+def hungarian_mwm(
+    nrows: int,
+    ncols: int,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    weights: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """Exact MWM over weighted triples; returns ``(mate_r, mate_c, weight)``.
+
+    ``mate_r[i]`` is the column matched to row i (NULL if unmatched),
+    ``mate_c`` the inverse, ``weight`` the maximum achievable sum of
+    positive edge weights.
+    """
+    rows = np.asarray(rows, np.int64)
+    cols = np.asarray(cols, np.int64)
+    weights = np.asarray(weights, np.float64)
+    mate_r = np.full(nrows, NULL, dtype=np.int64)
+    mate_c = np.full(ncols, NULL, dtype=np.int64)
+    if rows.size == 0:
+        return mate_r, mate_c, 0.0
+
+    benefit = _dense_benefit(nrows, ncols, rows, cols, weights)
+    n = benefit.shape[0]
+    wmax = float(benefit.max())
+    cost = wmax - benefit  # min-cost perfect assignment == max-benefit
+
+    # e-maxx formulation, 1-based with a virtual row/column 0
+    inf = np.inf
+    u = np.zeros(n + 1)
+    v = np.zeros(n + 1)
+    p = np.zeros(n + 1, dtype=np.int64)   # p[j] = row assigned to column j
+    way = np.zeros(n + 1, dtype=np.int64)
+    for i in range(1, n + 1):
+        p[0] = i
+        j0 = 0
+        minv = np.full(n + 1, inf)
+        used = np.zeros(n + 1, dtype=bool)
+        while True:
+            used[j0] = True
+            i0 = p[j0]
+            free = np.flatnonzero(~used[1:]) + 1
+            # reduced costs of row i0 against every unused column, in one shot
+            cur = cost[i0 - 1, free - 1] - u[i0] - v[free]
+            upd = cur < minv[free]
+            minv[free[upd]] = cur[upd]
+            way[free[upd]] = j0
+            k = int(np.argmin(minv[free]))
+            delta = minv[free][k]
+            j1 = int(free[k])
+            usedj = np.flatnonzero(used)
+            u[p[usedj]] += delta
+            v[usedj] -= delta
+            minv[free] -= delta
+            j0 = j1
+            if p[j0] == 0:
+                break
+        while j0:  # unroll the alternating path recorded in `way`
+            j1 = int(way[j0])
+            p[j0] = p[j1]
+            j0 = j1
+
+    # keep assigned pairs only where a real positive edge backs them
+    for j in range(1, n + 1):
+        i = int(p[j]) - 1
+        jj = j - 1
+        if i < nrows and jj < ncols and benefit[i, jj] > 0.0:
+            mate_r[i] = jj
+            mate_c[jj] = i
+    matched = mate_r != NULL
+    return mate_r, mate_c, float(benefit[np.flatnonzero(matched), mate_r[matched]].sum())

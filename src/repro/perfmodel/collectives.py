@@ -259,3 +259,48 @@ def spmv_fold(pc: int, alpha: float, beta: float, max_send_words: float) -> floa
     """The "fold" phase of 2D SpMV: personalized all-to-all of partial
     products along a processor row."""
     return alltoallv_pairwise(pc, alpha, beta, max_send_words)
+
+
+def auction_round(
+    pr: int,
+    pc: int,
+    alpha: float,
+    beta: float,
+    bidder_words: float,
+    partial_words: float,
+    bid_words: float,
+    price_words: float,
+    *,
+    links=None,
+    aggregate: bool = False,
+) -> float:
+    """One synchronized bidding round of MWM-DIST on a pr × pc grid.
+
+    The round's wire shape (see :mod:`repro.matching.mwm_dist`):
+
+    1. bidder expand — allgather of the unmatched-bidder slices along a
+       grid COLUMN (``pr`` participants, ``bidder_words`` total);
+    2. partial fold — personalized all-to-all of per-block (best, second)
+       partials along the column (``partial_words`` max per-rank send);
+    3. bid resolution — grid-wide all-to-all delivering bids to the item
+       owners (``pr*pc`` participants, ``bid_words`` max send; the mate
+       notifications ride the same shape and are folded into it);
+    4. price replication — allgather of accepted (item, price) pairs along
+       a grid ROW (``pc`` participants, ``price_words`` total);
+    5. quiescence — one 2-word allreduce over the whole grid.
+
+    ``aggregate`` prices the hub-star coalesced variants, matching the
+    runtime's superstep aggregation engine.
+    """
+    p = pr * pc
+    return (
+        allgather(pr, alpha, beta, bidder_words, algorithm="ring",
+                  links=links, aggregate=aggregate)
+        + alltoallv(p=pr, alpha=alpha, beta=beta, max_send_words=partial_words,
+                    algorithm="pairwise", links=links, aggregate=aggregate)
+        + alltoallv(p=p, alpha=alpha, beta=beta, max_send_words=bid_words,
+                    algorithm="pairwise", links=links, aggregate=aggregate)
+        + allgather(pc, alpha, beta, price_words, algorithm="ring",
+                    links=links, aggregate=aggregate)
+        + allreduce(p, alpha, beta, 2.0, links=links, aggregate=aggregate)
+    )

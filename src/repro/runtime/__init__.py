@@ -66,6 +66,7 @@ from .executor import (
     resolve_backend,
     resolve_timeout,
     run_mcm_dist_resilient,
+    run_mwm_dist_resilient,
     spmd,
 )
 from .transport import BACKENDS, SpmdJob, Transport, get_transport
@@ -126,6 +127,7 @@ __all__ = [
     "resolve_backend",
     "resolve_timeout",
     "run_mcm_dist_resilient",
+    "run_mwm_dist_resilient",
     "run_scenario",
     "spmd",
     "tspan",

@@ -35,17 +35,26 @@ class Checkpoint:
     ``rng_state`` is carried for initializers/algorithms that consume
     randomness (None for the deterministic MCM-DIST pipeline) so a resumed
     run replays the same random stream.
+
+    ``aux`` carries algorithm-specific dense state beyond the mate vectors
+    — the weighted auction engine checkpoints its item prices here (the
+    mates alone are NOT a valid auction restart point: a phase resumed
+    with zeroed prices would re-fight every bidding war and lose the
+    ε-scaling warm start the earlier phases paid for).  Values must be
+    NumPy arrays; None means "no extra state".
     """
 
     phase: int
     mate_row: np.ndarray
     mate_col: np.ndarray
     rng_state: Any = None
+    aux: "dict[str, np.ndarray] | None" = None
 
     @property
     def words(self) -> int:
         """8-byte words this snapshot occupies (the DistStats unit)."""
-        return int(self.mate_row.size + self.mate_col.size + 2)
+        extra = sum(a.size for a in self.aux.values()) if self.aux else 0
+        return int(self.mate_row.size + self.mate_col.size + extra + 2)
 
 
 @dataclass
@@ -150,6 +159,8 @@ class FileCheckpointStore(CheckpointStore):
                 phase=np.int64(ck.phase),
                 mate_row=ck.mate_row,
                 mate_col=ck.mate_col,
+                # aux entries ride the same npz under a reserved prefix
+                **{f"aux_{k}": v for k, v in (ck.aux or {}).items()},
             )
         with self._flock():
             os.replace(tmp, self._path(ck.phase))
@@ -166,10 +177,16 @@ class FileCheckpointStore(CheckpointStore):
             if not names:
                 return None
             with np.load(os.path.join(self.directory, max(names))) as data:
+                aux = {
+                    k[len("aux_"):]: data[k]
+                    for k in data.files
+                    if k.startswith("aux_")
+                }
                 return Checkpoint(
                     phase=int(data["phase"]),
                     mate_row=data["mate_row"],
                     mate_col=data["mate_col"],
+                    aux=aux or None,
                 )
 
     def clear(self) -> None:

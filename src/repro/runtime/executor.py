@@ -218,8 +218,18 @@ def _resilient_rank_main(comm, coo, pr: int, pc: int, **mcm_kwargs):
     return mcm_dist_spmd(comm, data, pr, pc, **mcm_kwargs)
 
 
-def run_mcm_dist_resilient(
-    coo,
+def _mwm_resilient_rank_main(comm, coo, weights, pr: int, pc: int, **mwm_kwargs):
+    """Per-rank entry point of :func:`run_mwm_dist_resilient` (module-level
+    for the same picklability reason as :func:`_resilient_rank_main`)."""
+    from ..matching.mwm_dist import mwm_dist_spmd  # local: avoid import cycle
+
+    data = (coo, weights) if comm.rank == 0 else (None, None)
+    return mwm_dist_spmd(comm, data[0], data[1], pr, pc, **mwm_kwargs)
+
+
+def _run_resilient(
+    rank_main: Callable[..., Any],
+    job_args: tuple,
     pr: int,
     pc: int,
     *,
@@ -233,37 +243,17 @@ def run_mcm_dist_resilient(
     trace: "bool | str" = False,
     backend: "str | None" = None,
     restart_on: tuple = RECOVERABLE_ERRORS,
-    **mcm_kwargs: Any,
+    **alg_kwargs: Any,
 ):
-    """Self-healing MCM-DIST: shrink-and-restart recovery from checkpoints.
+    """The algorithm-agnostic shrink-and-restart driver.
 
-    Runs the same job as ``run_mcm_dist(coo, pr, pc, **mcm_kwargs)`` but
-    survives rank deaths (injected by ``faults`` or otherwise): at every
-    ``checkpoint_every``-th phase boundary the job snapshots
-    ``(mate_row, mate_col, phase, rng_state)`` into ``checkpoint_store``
-    (in-memory by default; pass a
-    :class:`~repro.runtime.checkpoint.FileCheckpointStore` to survive the
-    process).  When the SPMD job fails with a recoverable error the fabric
-    is rebuilt from scratch — ULFM-style shrink-and-restart with a fresh
-    set of simulated processes — and the job resumes from the latest
-    checkpoint.  Because each completed phase leaves a valid matching,
-    the restarted run converges to the same maximum cardinality.
-
-    Crash events of the fault plan that already fired are disarmed on
-    restart (a process only dies once); transient/delay faults re-arm.
-
-    Under ``backend="process"`` the checkpoint store must be a
-    :class:`~repro.runtime.checkpoint.FileCheckpointStore` — an in-memory
-    store in the parent is invisible to forked ranks, so a restart would
-    silently begin from phase 0.
-
-    Returns ``(mate_r, mate_c, stats)`` with ``stats.restarts``,
-    ``stats.phases_replayed`` and ``stats.checkpoint_words`` recorded.
-
-    With ``trace`` set (see :func:`spmd`), every attempt's timeline —
-    including the failed ones, fault spans and truncated spans intact —
-    is concatenated into one :class:`~repro.runtime.trace.DistTrace` with
-    an explicit ``restart`` span at each seam, attached as ``stats.trace``.
+    ``rank_main(comm, *job_args, pr, pc, **alg_kwargs)`` must accept
+    ``checkpoint_every`` / ``checkpoint_store`` / ``resume`` kwargs and
+    snapshot at phase boundaries; everything else — fault-plan arming and
+    disarming, fabric rebuilds, resume-point lookup, restart-span and
+    replay accounting, trace concatenation, stats merging — is shared
+    between the cardinality (:func:`run_mcm_dist_resilient`) and weighted
+    (:func:`run_mwm_dist_resilient`) engines.
     """
     resolved_backend = resolve_backend(backend, verify=verify)
     store = checkpoint_store if checkpoint_store is not None else CheckpointStore()
@@ -315,13 +305,13 @@ def run_mcm_dist_resilient(
 
         try:
             result = spmd(
-                pr * pc, _resilient_rank_main, coo, pr, pc,
+                pr * pc, rank_main, *job_args, pr, pc,
                 timeout=timeout, verify=verify, faults=injector,
                 comm_config=comm_config, trace=trace, backend=resolved_backend,
                 checkpoint_every=checkpoint_every,
                 checkpoint_store=store,
                 resume=resume,
-                **mcm_kwargs,
+                **alg_kwargs,
             )
             merge_attempt(result.trace)
             break
@@ -372,3 +362,53 @@ def run_mcm_dist_resilient(
     stats.restart_spans = tuple(restart_spans)
     stats.trace = job_trace
     return mate_r, mate_c, stats
+
+
+def run_mcm_dist_resilient(coo, pr: int, pc: int, **kwargs: Any):
+    """Self-healing MCM-DIST: shrink-and-restart recovery from checkpoints.
+
+    Runs the same job as ``run_mcm_dist(coo, pr, pc, ...)`` but survives
+    rank deaths (injected by ``faults`` or otherwise): at every
+    ``checkpoint_every``-th phase boundary the job snapshots
+    ``(mate_row, mate_col, phase, rng_state)`` into ``checkpoint_store``
+    (in-memory by default; pass a
+    :class:`~repro.runtime.checkpoint.FileCheckpointStore` to survive the
+    process).  When the SPMD job fails with a recoverable error the fabric
+    is rebuilt from scratch — ULFM-style shrink-and-restart with a fresh
+    set of simulated processes — and the job resumes from the latest
+    checkpoint.  Because each completed phase leaves a valid matching,
+    the restarted run converges to the same maximum cardinality.
+
+    Crash events of the fault plan that already fired are disarmed on
+    restart (a process only dies once); transient/delay faults re-arm.
+
+    Under ``backend="process"`` the checkpoint store must be a
+    :class:`~repro.runtime.checkpoint.FileCheckpointStore` — an in-memory
+    store in the parent is invisible to forked ranks, so a restart would
+    silently begin from phase 0.
+
+    Returns ``(mate_r, mate_c, stats)`` with ``stats.restarts``,
+    ``stats.phases_replayed`` and ``stats.checkpoint_words`` recorded.
+
+    With ``trace`` set (see :func:`spmd`), every attempt's timeline —
+    including the failed ones, fault spans and truncated spans intact —
+    is concatenated into one :class:`~repro.runtime.trace.DistTrace` with
+    an explicit ``restart`` span at each seam, attached as ``stats.trace``.
+    """
+    return _run_resilient(_resilient_rank_main, (coo,), pr, pc, **kwargs)
+
+
+def run_mwm_dist_resilient(coo, weights, pr: int, pc: int, **kwargs: Any):
+    """Self-healing MWM-DIST: the weighted-auction twin of
+    :func:`run_mcm_dist_resilient`.
+
+    Same restart protocol, but the snapshots carry the doubled-graph mate
+    vectors AND the item prices (the checkpoint ``aux`` slot): a resumed
+    ε-phase re-fights its own bidding wars from scratch, but inherits the
+    prices the completed phases established, so the recovered run lands on
+    the same matching (and bit-identical mates) as a fault-free one.
+    Accepts the :func:`~repro.matching.mwm_dist.run_mwm_dist` algorithm
+    kwargs (``epsilon``, ``cardinality_bias``, ``max_rounds``) on top of
+    the recovery kwargs.
+    """
+    return _run_resilient(_mwm_resilient_rank_main, (coo, weights), pr, pc, **kwargs)

@@ -24,6 +24,14 @@ inside one vector sub-chunk) — and fall back to the O(c log c) lexsort
 otherwise.  ``rand`` modes always use the shuffled stable sort.  Both paths
 produce bit-identical winners (the scatter encodes (key, arrival position)
 so ties resolve to the first candidate, exactly like the stable lexsort).
+
+The payload arrays keep their own dtypes: BFS semirings carry int64
+(parent, root) pairs, while the auction engine's bid resolution carries
+(float64 bid, int64 bidder) pairs through the SAME kernel.  The packed
+keyed-scatter fast path requires an integer comparison key (the (key,
+position) encode needs exact integer arithmetic), so float-keyed
+reductions — e.g. ``by="parent"`` over profits — always take the lexsort
+path; integer-keyed ones keep the O(c) scatter.
 """
 
 from __future__ import annotations
@@ -114,11 +122,11 @@ def reduce_candidates(
     uniform choice among each row's candidates.
     """
     rows = np.asarray(rows, dtype=np.int64)
-    parents = np.asarray(parents, dtype=np.int64)
-    roots = np.asarray(roots, dtype=np.int64)
+    parents = np.asarray(parents)
+    roots = np.asarray(roots)
     if rows.size == 0:
         e = np.empty(0, np.int64)
-        return e, e.copy(), e.copy()
+        return e, np.empty(0, parents.dtype), np.empty(0, roots.dtype)
 
     key = parents if semiring.by == "parent" else roots
     if semiring.mode == "rand":
@@ -131,9 +139,13 @@ def reduce_candidates(
         order = np.argsort(rows, kind="stable")
     else:
         k = -key if semiring.mode == "max" else key
-        fast = _reduce_scatter(rows, parents, roots, k)
-        if fast is not None:
-            return fast
+        if np.issubdtype(k.dtype, np.integer):
+            # the packed (key, position) encode is exact only for integers
+            fast = _reduce_scatter(
+                rows, parents, roots, np.asarray(k, dtype=np.int64)
+            )
+            if fast is not None:
+                return fast
         order = np.lexsort((k, rows))
     rows, parents, roots = rows[order], parents[order], roots[order]
     first = np.empty(rows.size, dtype=bool)

@@ -1,0 +1,173 @@
+"""The exact Hungarian oracle vs brute force and scipy.
+
+The O(n³) reference in ``repro.matching.reference.hungarian`` is the
+judge every auction run is measured against, so it gets its own judge
+here: exhaustive enumeration of all partial assignments on graphs up to
+4×4 (ties, zero and negative weights included), known-answer fixtures,
+and a scipy ``linear_sum_assignment`` cross-check at larger sizes.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.matching.reference import hungarian_mwm
+from repro.sparse.spvec import NULL
+
+
+def brute_force_mwm(nrows, ncols, rows, cols, weights):
+    """Max-weight matching by enumerating every subset of best-edges.
+
+    Dedups parallel edges (keep the max weight), drops non-positive
+    weights (never worth taking), then tries every injective row→col
+    assignment over the surviving edge set.  Exponential — fine ≤ 4×4.
+    """
+    best_w = {}
+    for i, j, w in zip(rows, cols, weights):
+        key = (int(i), int(j))
+        if w > 0 and (key not in best_w or w > best_w[key]):
+            best_w[key] = float(w)
+    edges = list(best_w.items())
+    best = 0.0
+    for r in range(1, len(edges) + 1):
+        for combo in itertools.combinations(edges, r):
+            ri = [e[0][0] for e in combo]
+            ci = [e[0][1] for e in combo]
+            if len(set(ri)) == r and len(set(ci)) == r:
+                best = max(best, sum(e[1] for e in combo))
+    return best
+
+
+def check_valid(nrows, ncols, rows, cols, weights, mate_r, mate_c):
+    """mate_r/mate_c are mutually consistent and use only real edges."""
+    edge_w = {}
+    for i, j, w in zip(rows, cols, weights):
+        key = (int(i), int(j))
+        edge_w[key] = max(edge_w.get(key, -np.inf), float(w))
+    total = 0.0
+    for i in range(nrows):
+        j = int(mate_r[i])
+        if j != NULL:
+            assert 0 <= j < ncols
+            assert int(mate_c[j]) == i
+            assert (i, j) in edge_w and edge_w[(i, j)] > 0
+            total += edge_w[(i, j)]
+    for j in range(ncols):
+        i = int(mate_c[j])
+        if i != NULL:
+            assert int(mate_r[i]) == j
+    return total
+
+
+@pytest.mark.parametrize("seed", range(60))
+def test_hungarian_matches_brute_force(seed):
+    rng = np.random.default_rng(seed)
+    n1 = int(rng.integers(1, 5))
+    n2 = int(rng.integers(1, 5))
+    m = int(rng.integers(0, n1 * n2 + 1))
+    rows = rng.integers(0, n1, m)
+    cols = rng.integers(0, n2, m)
+    # small integer weights force plenty of ties; shift allows ≤ 0 weights
+    weights = rng.integers(-2, 6, m).astype(np.float64)
+    mate_r, mate_c, w = hungarian_mwm(n1, n2, rows, cols, weights)
+    achieved = check_valid(n1, n2, rows, cols, weights, mate_r, mate_c)
+    assert w == pytest.approx(achieved)
+    assert w == pytest.approx(brute_force_mwm(n1, n2, rows, cols, weights))
+
+
+@pytest.mark.parametrize("seed", range(60, 90))
+def test_hungarian_matches_brute_force_fractional(seed):
+    rng = np.random.default_rng(seed)
+    n1, n2 = int(rng.integers(2, 5)), int(rng.integers(2, 5))
+    m = int(rng.integers(1, 2 * n1 * n2))
+    rows = rng.integers(0, n1, m)
+    cols = rng.integers(0, n2, m)
+    weights = rng.uniform(-1.0, 4.0, m)
+    _, _, w = hungarian_mwm(n1, n2, rows, cols, weights)
+    assert w == pytest.approx(brute_force_mwm(n1, n2, rows, cols, weights))
+
+
+def test_known_answer_diagonal_vs_heavy_cross():
+    # taking the single heavy cross edge (10) beats the two diagonal 4s? No:
+    # 4 + 4 = 8 < 10 only if the cross edge excludes both. Here (0,1)=10
+    # blocks (0,0) and (1,1): optimum = max(10 + 0, 4 + 4) = 10 vs 8 -> 10.
+    rows = np.array([0, 1, 0])
+    cols = np.array([0, 1, 1])
+    weights = np.array([4.0, 4.0, 10.0])
+    mate_r, mate_c, w = hungarian_mwm(2, 2, rows, cols, weights)
+    assert w == 10.0
+    assert mate_r.tolist() == [1, NULL]
+
+    # flip: now the diagonals are worth 6 each and beat the 10 cross edge
+    weights = np.array([6.0, 6.0, 10.0])
+    mate_r, mate_c, w = hungarian_mwm(2, 2, rows, cols, weights)
+    assert w == 12.0
+    assert mate_r.tolist() == [0, 1]
+
+
+def test_known_answer_ties_still_optimal():
+    """All weights equal: MWM degenerates to MCM; optimum = 3 * w."""
+    rows = np.array([0, 0, 1, 1, 2, 2])
+    cols = np.array([0, 1, 1, 2, 0, 2])
+    weights = np.full(6, 2.5)
+    _, _, w = hungarian_mwm(3, 3, rows, cols, weights)
+    assert w == pytest.approx(7.5)
+
+
+def test_zero_and_negative_weights_never_matched():
+    rows = np.array([0, 1, 2])
+    cols = np.array([0, 1, 2])
+    weights = np.array([0.0, -3.0, 5.0])
+    mate_r, mate_c, w = hungarian_mwm(3, 3, rows, cols, weights)
+    assert w == 5.0
+    assert mate_r.tolist() == [NULL, NULL, 2]
+    assert mate_c.tolist() == [NULL, NULL, 2]
+
+
+def test_duplicate_edges_keep_largest():
+    rows = np.array([0, 0, 0])
+    cols = np.array([0, 0, 0])
+    weights = np.array([1.0, 7.0, 3.0])
+    _, _, w = hungarian_mwm(1, 1, rows, cols, weights)
+    assert w == 7.0
+
+
+def test_empty_and_degenerate_shapes():
+    e = np.empty(0, np.int64)
+    mate_r, mate_c, w = hungarian_mwm(3, 4, e, e, np.empty(0))
+    assert w == 0.0
+    assert (mate_r == NULL).all() and (mate_c == NULL).all()
+    mate_r, mate_c, w = hungarian_mwm(0, 0, e, e, np.empty(0))
+    assert mate_r.size == 0 and mate_c.size == 0 and w == 0.0
+
+
+def test_rectangular_wide_and_tall():
+    # 1 row, 4 cols: can take only the single best edge
+    rows = np.array([0, 0, 0, 0])
+    cols = np.array([0, 1, 2, 3])
+    weights = np.array([1.0, 9.0, 2.0, 3.0])
+    mate_r, _, w = hungarian_mwm(1, 4, rows, cols, weights)
+    assert w == 9.0 and mate_r.tolist() == [1]
+    # transpose
+    mate_r, _, w = hungarian_mwm(4, 1, cols, rows, weights)
+    assert w == 9.0 and mate_r.tolist() == [NULL, 0, NULL, NULL]
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_hungarian_matches_scipy_lsa(seed):
+    """Cross-check on denser 8×8 graphs against scipy's assignment solver
+    over the same clamped dense benefit matrix."""
+    from scipy.optimize import linear_sum_assignment
+
+    rng = np.random.default_rng(100 + seed)
+    n = 8
+    m = 40
+    rows = rng.integers(0, n, m)
+    cols = rng.integers(0, n, m)
+    weights = rng.uniform(-2.0, 10.0, m)
+    _, _, w = hungarian_mwm(n, n, rows, cols, weights)
+    benefit = np.zeros((n, n))
+    np.maximum.at(benefit, (rows, cols), np.maximum(weights, 0.0))
+    ri, ci = linear_sum_assignment(benefit, maximize=True)
+    assert w == pytest.approx(float(benefit[ri, ci].sum()))

@@ -10,8 +10,10 @@ matching) changed message content or ordering semantics.
 import numpy as np
 import pytest
 
+from repro.graphs.generators import edge_weights
 from repro.graphs.rmat import er, g500
 from repro.matching.mcm_dist import run_mcm_dist
+from repro.matching.mwm_dist import run_mwm_dist
 from repro.runtime.comm import NAIVE_CONFIG, CollectiveConfig
 
 GRIDS = [(1, 1), (2, 2), (3, 3)]
@@ -58,3 +60,79 @@ def test_larger_grid_volume_parity():
     """A heavier instance exercising chunked frames and every collective."""
     coo = er(8, seed=1)
     _assert_parity(coo, 3, 3, CONFIGS["engine"])
+
+
+# -- MWM-DIST: the auction engine over the same transports -------------------
+
+
+def _mwm_input(name):
+    coo = INPUTS[name]()
+    return coo, edge_weights(coo, dist="skewed", seed=3)
+
+
+def _run_mwm(coo, weights, pr, pc, backend, config):
+    return run_mwm_dist(
+        coo, weights, pr, pc, backend=backend, comm_config=config, timeout=120,
+    )
+
+
+def _assert_mwm_parity(coo, weights, pr, pc, config):
+    mr_t, mc_t, st_t = _run_mwm(coo, weights, pr, pc, "thread", config)
+    mr_p, mc_p, st_p = _run_mwm(coo, weights, pr, pc, "process", config)
+    np.testing.assert_array_equal(mr_t, mr_p)
+    np.testing.assert_array_equal(mc_t, mc_p)
+    assert st_t.matching_weight == st_p.matching_weight
+    assert st_t.auction_rounds == st_p.auction_rounds
+    assert st_t.comm_by_alg == st_p.comm_by_alg
+
+
+@pytest.mark.parametrize("graph", sorted(INPUTS))
+@pytest.mark.parametrize("pr,pc", GRIDS)
+def test_mwm_grid_parity(graph, pr, pc):
+    coo, weights = _mwm_input(graph)
+    _assert_mwm_parity(coo, weights, pr, pc, CONFIGS["engine"])
+
+
+@pytest.mark.parametrize("config", sorted(CONFIGS))
+def test_mwm_config_parity(config):
+    coo, weights = _mwm_input("er6")
+    _assert_mwm_parity(coo, weights, 2, 2, CONFIGS[config])
+
+
+def test_mwm_aggregation_bit_equal():
+    """Superstep aggregation changes only the physical frame schedule: the
+    auction's mates, weight, rounds and logical ledgers must not move."""
+    coo, weights = _mwm_input("rmat6")
+    base = run_mwm_dist(coo, weights, 2, 2, timeout=120)
+    agg = run_mwm_dist(
+        coo, weights, 2, 2,
+        comm_config=CollectiveConfig(aggregate=True), timeout=120,
+    )
+    np.testing.assert_array_equal(base[0], agg[0])
+    np.testing.assert_array_equal(base[1], agg[1])
+    assert base[2].matching_weight == agg[2].matching_weight
+    assert base[2].auction_rounds == agg[2].auction_rounds
+    assert base[2].comm_by_alg == agg[2].comm_by_alg
+
+
+def test_mwm_chaos_recovery_matches_fault_free(tmp_path):
+    """Crashes at every ε-phase boundary: the recovered auction must land on
+    the exact fault-free mates and weight (prices ride the checkpoint's aux
+    slot, so replayed phases restart from the durable duals)."""
+    from repro.runtime.checkpoint import FileCheckpointStore
+    from repro.runtime.executor import run_mwm_dist_resilient
+    from repro.runtime.faults import FaultPlan
+
+    coo, weights = _mwm_input("er6")
+    mr_ok, mc_ok, st_ok = run_mwm_dist(coo, weights, 2, 2, timeout=120)
+    mr, mc, st = run_mwm_dist_resilient(
+        coo, weights, 2, 2,
+        faults=FaultPlan.parse("crash:rank=any,at=phase:every", seed=5),
+        checkpoint_store=FileCheckpointStore(tmp_path / "ckpt"),
+        max_restarts=30,
+        timeout=120,
+    )
+    assert st.restarts >= 1
+    np.testing.assert_array_equal(mr_ok, mr)
+    np.testing.assert_array_equal(mc_ok, mc)
+    assert st.matching_weight == st_ok.matching_weight

@@ -221,3 +221,91 @@ def test_scatter_fallback_on_huge_keys():
 def test_scatter_single_candidate_and_negative_free():
     r, p, t = reduce_candidates(np.array([7]), np.array([3]), np.array([9]))
     assert (r.tolist(), p.tolist(), t.tolist()) == ([7], [3], [9])
+
+
+# -- float-keyed payloads: the auction engine's (bid, bidder) pairs ----------
+
+
+def test_float_keys_preserve_payload_dtypes():
+    """(float64 bid, int64 bidder) pairs must come back in their own dtypes,
+    not silently cast to int64 (which would truncate every bid)."""
+    rows = np.array([4, 4, 9], dtype=np.int64)
+    bids = np.array([1.25, 2.75, 0.5], dtype=np.float64)
+    bidders = np.array([17, 3, 8], dtype=np.int64)
+    r, p, t = reduce_candidates(rows, bids, bidders, SR_MAX_PARENT)
+    assert p.dtype == np.float64 and t.dtype == np.int64
+    assert r.tolist() == [4, 9]
+    assert p.tolist() == [2.75, 0.5]
+    assert t.tolist() == [3, 8]
+
+
+def test_float_keys_decline_scatter_fast_path():
+    """The packed (key, position) scatter is exact only for integer keys;
+    float keys must route through the lexsort even on dense row ranges."""
+    from repro.sparse.semiring import _reduce_scatter
+
+    rows = np.arange(16, dtype=np.int64)
+    bids = np.linspace(0.0, 1.0, 16)
+    k = -bids
+    assert not np.issubdtype(k.dtype, np.integer)
+    # the guard in reduce_candidates keys off the dtype; the scatter itself
+    # is never offered a float key.  Integer-valued floats through the full
+    # kernel must still win correctly:
+    r, p, t = reduce_candidates(rows, bids, np.arange(16), SR_MAX_PARENT)
+    assert np.array_equal(p, bids)
+    # and an int64 view of the same keys does use the scatter:
+    ki = np.arange(16, dtype=np.int64)
+    assert _reduce_scatter(rows, ki, ki, ki) is not None
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_float_and_integer_keys_agree_on_integral_values(seed):
+    """Integer-valued float keys must pick the same winners as the same keys
+    expressed as int64 — the two code paths (lexsort vs scatter) agree."""
+    rng = np.random.default_rng(seed)
+    c = 300
+    rows = rng.integers(0, 60, c)
+    keys = rng.integers(0, 40, c)
+    roots = rng.integers(0, 1000, c)
+    for sr in (SR_MIN_PARENT, SR_MAX_PARENT):
+        ri, pi, ti = reduce_candidates(rows, keys, roots, sr)
+        rf, pf, tf = reduce_candidates(rows, keys.astype(np.float64), roots, sr)
+        assert np.array_equal(ri, rf)
+        assert np.array_equal(pi.astype(np.float64), pf)
+        assert np.array_equal(ti, tf)
+
+
+def test_float_key_ties_resolve_to_first_arrival():
+    """Equal float bids: the stable lexsort keeps the earliest candidate,
+    which resolve_bids exploits (bidders pre-sorted => min-bidder wins)."""
+    rows = np.array([2, 2, 2], dtype=np.int64)
+    bids = np.array([5.5, 5.5, 5.5])
+    bidders = np.array([30, 10, 20], dtype=np.int64)
+    r, p, t = reduce_candidates(rows, bids, bidders, SR_MAX_PARENT)
+    assert t.tolist() == [30]  # first arrival, not min value
+
+
+def test_empty_reduction_preserves_payload_dtypes():
+    r, p, t = reduce_candidates(
+        np.empty(0, np.int64), np.empty(0, np.float64), np.empty(0, np.int32)
+    )
+    assert r.dtype == np.int64 and p.dtype == np.float64 and t.dtype == np.int32
+
+
+def test_resolve_bids_ties_go_to_min_bidder():
+    """The auction wrapper pre-sorts by bidder id, so equal highest bids on
+    one item deterministically go to the smallest bidder — across any input
+    order."""
+    from repro.matching.auction import resolve_bids
+
+    rows = np.array([5, 5, 5, 7], dtype=np.int64)
+    bids = np.array([2.0, 2.0, 1.0, 3.5])
+    bidders = np.array([42, 6, 1, 9], dtype=np.int64)
+    r, b, w = resolve_bids(rows, bids, bidders)
+    assert r.tolist() == [5, 7]
+    assert b.tolist() == [2.0, 3.5]
+    assert w.tolist() == [6, 9]
+    # permuting the candidates must not change the winners
+    perm = np.array([3, 1, 0, 2])
+    r2, b2, w2 = resolve_bids(rows[perm], bids[perm], bidders[perm])
+    assert np.array_equal(r, r2) and np.array_equal(b, b2) and np.array_equal(w, w2)
